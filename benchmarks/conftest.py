@@ -1,0 +1,32 @@
+"""Shared benchmark helpers.
+
+Each benchmark regenerates one of the paper's tables/figures; the
+rendered tables are printed in the terminal summary so that a
+``pytest benchmarks/ --benchmark-only`` log contains every regenerated
+figure alongside the timing table.
+"""
+
+from typing import List
+
+import pytest
+
+_RENDERED: List[str] = []
+
+
+def run_and_print(benchmark, runner, *args, **kwargs):
+    """Benchmark ``runner`` once and queue its rendered table."""
+    result = benchmark.pedantic(
+        runner, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+    _RENDERED.append(result.text)
+    return result
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _RENDERED:
+        return
+    terminalreporter.section("regenerated tables and figures")
+    for text in _RENDERED:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,95 @@
+"""Benchmarks for the §VIII extensions: hierarchical coherence,
+multi-node fabrics, and the outlook applications."""
+
+from conftest import run_and_print
+
+from repro.apps.graph import bfs_offload_study
+from repro.apps.kvstore import kv_offload_study
+from repro.cache.hierarchy import HierarchicalDomain
+from repro.config import asic_system
+from repro.harness.tables import render_series
+
+
+class _Result:
+    def __init__(self, series, text):
+        self.series = series
+        self.text = text
+
+
+def test_bench_hierarchical_coherence(benchmark):
+    """Fabric-message reduction from two-level coherence as the
+    supernode scales (the coherence-traffic-storm mitigation)."""
+
+    def run():
+        series = {"hierarchical": {}, "flat": {}, "reduction": {}}
+        for children in (2, 4, 8):
+            domain = HierarchicalDomain(children=children)
+            accesses = 0
+            for round_ in range(64):
+                for i, child in enumerate(sorted(domain.locals)):
+                    # 7/8 local working-set hits, 1/8 shared-line traffic.
+                    if round_ % 8 == 0:
+                        domain.access(child, 0x100, exclusive=True)
+                    else:
+                        domain.access(child, 0x10000 * (i + 1) + (round_ % 4) * 64)
+                    accesses += 1
+            hier = domain.total_fabric_messages
+            flat = domain.flat_equivalent_messages(accesses)
+            series["hierarchical"][children] = hier
+            series["flat"][children] = flat
+            series["reduction"][children] = 1 - hier / flat
+        return _Result(
+            series,
+            render_series(
+                "children",
+                series,
+                title="Extension: hierarchical coherence fabric messages",
+            ),
+        )
+
+    result = run_and_print(benchmark, run)
+    for children, reduction in result.series["reduction"].items():
+        assert reduction > 0.4  # local agents absorb most traffic
+
+
+def test_bench_graph_offload(benchmark):
+    """BFS offload: CXL vs. PCIe on neighbour-chasing traffic."""
+
+    def run():
+        study = bfs_offload_study(asic_system(), vertices=160, degree=4)
+        series = {
+            "value": {
+                "cxl_us": study.cxl_us,
+                "pcie_us": study.pcie_us,
+                "speedup": study.speedup,
+                "hmc_hit_rate": study.hmc_hit_rate,
+            }
+        }
+        return _Result(
+            series, render_series("metric", series, title="Extension: BFS offload")
+        )
+
+    result = run_and_print(benchmark, run)
+    assert result.series["value"]["speedup"] > 5
+
+
+def test_bench_kvstore_offload(benchmark):
+    """GET/PUT offload: hash-probe traffic on both fabrics."""
+
+    def run():
+        study = kv_offload_study(asic_system(), operations=500, keys=128)
+        series = {
+            "value": {
+                "cxl_us": study.cxl_us,
+                "pcie_us": study.pcie_us,
+                "speedup": study.speedup,
+                "hmc_hit_rate": study.hmc_hit_rate,
+            }
+        }
+        return _Result(
+            series, render_series("metric", series, title="Extension: KV-store offload")
+        )
+
+    result = run_and_print(benchmark, run)
+    assert result.series["value"]["speedup"] > 3
+    assert result.series["value"]["hmc_hit_rate"] > 0.3

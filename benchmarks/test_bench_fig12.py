@@ -1,0 +1,18 @@
+"""Fig. 12: CXL.cache load latency distribution across NUMA nodes."""
+
+from conftest import run_and_print
+
+from repro.calibration.reference import NUMA_MEDIAN_NS
+from repro.harness.experiments import fig12_numa_latency
+
+
+def test_bench_fig12(benchmark):
+    result = run_and_print(benchmark, fig12_numa_latency, trials=15)
+    medians = result.series["median_ns"]
+    # Nearest node (7) cheapest; farthest (3) most expensive; the
+    # measured gap between them is ~88 ns on the testbed.
+    assert medians[7] == min(medians.values())
+    assert medians[3] == max(medians.values())
+    assert 70 <= medians[3] - medians[7] <= 110
+    for node, ref in NUMA_MEDIAN_NS.items():
+        assert abs(medians[node] - ref) / ref < 0.03

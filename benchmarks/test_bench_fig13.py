@@ -1,0 +1,17 @@
+"""Fig. 13: median 64B load latency per tier vs. DMA read at 64B."""
+
+from conftest import run_and_print
+
+from repro.calibration.reference import LOAD_LATENCY_NS
+from repro.harness.experiments import fig13_load_latency
+
+
+def test_bench_fig13(benchmark):
+    result = run_and_print(benchmark, fig13_load_latency)
+    for profile, tiers in LOAD_LATENCY_NS.items():
+        for tier, ref in tiers.items():
+            measured = result.series[profile][tier]
+            assert abs(measured - ref) / ref < 0.03
+    fpga = result.series["CXL-FPGA@400MHz"]
+    # CXL.cache mem hit beats DMA@64B by ~68%.
+    assert 1 - fpga["mem_hit"] / fpga["dma_64b"] > 0.6

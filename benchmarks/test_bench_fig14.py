@@ -1,0 +1,17 @@
+"""Fig. 14: median H2D DMA read latency vs. message granularity."""
+
+from conftest import run_and_print
+
+from repro.harness.experiments import fig14_dma_latency
+
+
+def test_bench_fig14(benchmark):
+    result = run_and_print(benchmark, fig14_dma_latency)
+    fpga = result.series["PCIe-FPGA@400MHz"]
+    # Setup-dominated below 8 KB: within 25% of the 64B latency.
+    assert fpga[4096] / fpga[64] < 1.25
+    # Wire-dominated beyond: 256 KB costs several times more.
+    assert fpga[262144] / fpga[64] > 4
+    # The ASIC engine cuts the small-transfer latency roughly in half.
+    asic = result.series["PCIe-ASIC@1.5GHz"]
+    assert asic[64] < 0.6 * fpga[64]

@@ -1,0 +1,17 @@
+"""Fig. 15: average 64B load bandwidth per tier vs. DMA at 64B."""
+
+from conftest import run_and_print
+
+from repro.calibration.reference import LOAD_BANDWIDTH_GBPS
+from repro.harness.experiments import fig15_load_bandwidth
+
+
+def test_bench_fig15(benchmark):
+    result = run_and_print(benchmark, fig15_load_bandwidth)
+    for profile, tiers in LOAD_BANDWIDTH_GBPS.items():
+        for tier, ref in tiers.items():
+            measured = result.series[profile][tier]
+            assert abs(measured - ref) / ref < 0.03
+    fpga = result.series["CXL-FPGA@400MHz"]
+    # 14.4x DMA bandwidth at cacheline granularity.
+    assert fpga["mem_hit"] / fpga["dma_64b"] > 13

@@ -1,0 +1,21 @@
+"""Fig. 16: average H2D DMA read bandwidth vs. message granularity."""
+
+from conftest import run_and_print
+
+from repro.calibration.reference import DMA_BANDWIDTH_GBPS
+from repro.harness.experiments import fig16_dma_bandwidth
+
+
+def test_bench_fig16(benchmark):
+    result = run_and_print(benchmark, fig16_dma_bandwidth)
+    fpga = result.series["PCIe-FPGA@400MHz"]
+    sizes = sorted(fpga)
+    # Monotonically rising with message size.
+    for a, b in zip(sizes, sizes[1:]):
+        assert fpga[a] < fpga[b]
+    # End points match the measured curve.
+    assert abs(fpga[64] - DMA_BANDWIDTH_GBPS[64]) / DMA_BANDWIDTH_GBPS[64] < 0.03
+    assert (
+        abs(fpga[262144] - DMA_BANDWIDTH_GBPS[262144]) / DMA_BANDWIDTH_GBPS[262144]
+        < 0.03
+    )

@@ -1,0 +1,20 @@
+"""Fig. 17: CXL-RAO vs. PCIe-RAO throughput speedup (CircusTent)."""
+
+from conftest import run_and_print
+
+from repro.harness.experiments import fig17_rao_speedup
+
+
+def test_bench_fig17(benchmark):
+    result = run_and_print(benchmark, fig17_rao_speedup, ops=2048)
+    speedup = result.series["speedup"]
+    # Paper: CENTRAL 40.2x, STRIDE1 22.4x, RAND 5.5x; SG/SCATTER/GATHER
+    # in between.
+    assert abs(speedup["CENTRAL"] - 40.2) / 40.2 < 0.08
+    assert abs(speedup["STRIDE1"] - 22.4) / 22.4 < 0.08
+    assert abs(speedup["RAND"] - 5.5) / 5.5 < 0.08
+    for moderate in ("SG", "SCATTER", "GATHER"):
+        assert speedup["RAND"] < speedup[moderate] < speedup["STRIDE1"]
+    # Hit rates explain the ordering.
+    hits = result.series["cxl_hit_rate"]
+    assert hits["CENTRAL"] > hits["STRIDE1"] > hits["RAND"]

@@ -1,0 +1,11 @@
+"""Fig. 4: programming-model comparison (AXPY listings)."""
+
+from conftest import run_and_print
+
+from repro.harness.experiments import fig4_programming_models
+
+
+def test_bench_fig4(benchmark):
+    result = run_and_print(benchmark, fig4_programming_models)
+    lines = result.series["lines"]
+    assert lines["cohet"] < lines["unified-memory"] < lines["explicit-copy"]

@@ -1,0 +1,15 @@
+"""Benchmarks regenerating Table I and Table II."""
+
+from conftest import run_and_print
+
+from repro.harness.experiments import table1_configurations, table2_comparison
+
+
+def test_bench_table1(benchmark):
+    result = run_and_print(benchmark, table1_configurations)
+    assert result.series["testbed"]["CPU cores"] == "48"
+
+
+def test_bench_table2(benchmark):
+    result = run_and_print(benchmark, table2_comparison)
+    assert result.series["SimCXL"]["CXL.cache Support"] == "Yes"

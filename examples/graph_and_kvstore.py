@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Outlook workloads (§VIII): graph processing and key-value offload.
+
+Runs BFS, PageRank and a GET-heavy key-value workload functionally,
+captures their cacheline traces, and replays them on the CXL.cache and
+PCIe-DMA substrates — the fine-grained irregular access patterns the
+paper names as the next Cohet killer apps.
+
+Run:  python examples/graph_and_kvstore.py
+"""
+
+from repro.apps.graph import bfs_offload_study, pagerank_offload_study
+from repro.apps.kvstore import kv_offload_study
+from repro.config import asic_system
+from repro.harness.tables import render_table
+
+
+def main():
+    config = asic_system()
+    print("Running functional workloads and replaying their access traces...")
+    studies = [
+        bfs_offload_study(config, vertices=192, degree=4),
+        pagerank_offload_study(config, vertices=96, degree=3),
+        kv_offload_study(config, operations=600, keys=150),
+    ]
+    rows = [
+        [
+            s.name,
+            s.accesses,
+            f"{s.cxl_us:.1f}",
+            f"{s.pcie_us:.1f}",
+            f"{s.speedup:.1f}x",
+            f"{s.hmc_hit_rate * 100:.0f}%",
+        ]
+        for s in studies
+    ]
+    print(
+        render_table(
+            ["workload", "accesses", "CXL (us)", "PCIe (us)", "speedup", "HMC hits"],
+            rows,
+            title="Coherent offload vs. DMA offload",
+        )
+    )
+    print()
+    print("Graph neighbour chasing and hash-table probing are exactly the")
+    print("fine-grained random patterns where descriptor-driven DMA collapses")
+    print("(one ordered 64B round trip per touch) while CXL.cache keeps hot")
+    print("lines in the device HMC.")
+
+
+if __name__ == "__main__":
+    main()

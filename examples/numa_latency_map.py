@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""NUMA latency mapping over CXL.cache (the Fig. 12 experiment).
+
+Places pages on each of the eight SNC-4 NUMA nodes in turn and measures
+the device's 64B load latency distribution, reproducing the testbed's
+NUMA staircase (688 ns at the adjacent node up to 776 ns across UPI).
+
+Run:  python examples/numa_latency_map.py
+"""
+
+from repro.calibration.microbench import CxlTestbench
+from repro.config import fpga_system
+from repro.interconnect.noc import NocTopology
+
+
+def main():
+    config = fpga_system()
+    topology = NocTopology()
+    print("Device attached adjacent to NUMA node", topology.device_node)
+    print()
+    print("node   median     p25     p75   socket  note")
+    for node in range(8):
+        bench = CxlTestbench(config, seed=500 + node)
+        report = bench.latency_mem_hit(trials=15, node=node)
+        socket = 0 if node < 4 else 1
+        note = ""
+        if node == topology.nearest_node():
+            note = "<- nearest (device-adjacent)"
+        elif node == topology.farthest_node():
+            note = "<- farthest (UPI + 2 mesh hops)"
+        elif socket == 0:
+            note = "(remote socket: UPI crossing)"
+        print(
+            f"  {node}   {report.median_ns:6.1f}  {report.p25_ns:6.1f}"
+            f"  {report.p75_ns:6.1f}      {socket}   {note}"
+        )
+    print()
+    print("Takeaway: the default (SNC-disabled) allocator can scatter pages")
+    print("across these nodes, so a CXL device sees up to ~90 ns of avoidable")
+    print("latency per load — Cohet's NUMA-aware placement keeps pages close.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Remote atomic operation offloading: CXL-NIC vs. PCIe-NIC (§V-A).
+
+Replays the paper's killer-app #1: the six CircusTent AMO patterns are
+offloaded to both NIC designs and the throughput speedup of the
+CXL-NIC is reported (Fig. 17's experiment at example scale).
+
+Run:  python examples/rao_offload.py
+"""
+
+from repro.config import asic_system
+from repro.harness.tables import render_series
+from repro.rao.circustent import CIRCUSTENT_PATTERNS
+from repro.rao.harness import run_rao_comparison
+
+
+def main():
+    config = asic_system()
+    print("Running six CircusTent patterns on PCIe-NIC and CXL-NIC...")
+    results = run_rao_comparison(config, ops=1024)
+
+    series = {
+        "PCIe-NIC Mops": {p: results[p].pcie_mops for p in CIRCUSTENT_PATTERNS},
+        "CXL-NIC Mops": {p: results[p].cxl_mops for p in CIRCUSTENT_PATTERNS},
+        "speedup": {p: results[p].speedup for p in CIRCUSTENT_PATTERNS},
+        "HMC hit rate": {p: results[p].cxl_hit_rate for p in CIRCUSTENT_PATTERNS},
+    }
+    print(render_series("pattern", series, title="CXL-based RAO vs PCIe-based RAO"))
+    print()
+    print("Reading the table:")
+    print(" - CENTRAL (a distributed lock service) caches its hot line in the")
+    print("   HMC, avoiding every PCIe crossing -> the ~40x peak speedup.")
+    print(" - STRIDE1 amortizes one line fetch over eight 8-byte atomics.")
+    print(" - RAND defeats the cache entirely, yet still wins ~5.5x because a")
+    print("   coherent 64B fetch is far cheaper than two ordered DMA transfers.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""RPC (de)serialization offloading: CXL-NIC vs. RpcNIC (§V-B).
+
+Killer-app #2: six HyperProtoBench-style workloads run through four
+offload designs — the PCIe RpcNIC baseline, and the CXL-NIC's NC-P
+deserialization plus its three serialization paths (CXL.mem
+construction, CXL.cache pulls with and without the multi-stride
+prefetcher).  Messages are real protobuf wire bytes round-tripped
+through the library's own codec.
+
+Run:  python examples/rpc_offload.py
+"""
+
+from repro.config import asic_system
+from repro.harness.tables import render_series
+from repro.rpc.harness import run_rpc_comparison
+from repro.rpc.hyperprotobench import BENCH_NAMES, make_bench
+
+
+def main():
+    config = asic_system()
+    print("Workload profiles:")
+    for name in BENCH_NAMES:
+        bench = make_bench(name, messages=30)
+        print(
+            f"  {name}: ~{bench.mean_wire_bytes:6.0f} wire bytes, "
+            f"{bench.mean_fields:4.1f} fields, "
+            f"{bench.mean_nested:4.1f} nested messages"
+        )
+    print()
+
+    results = run_rpc_comparison(config, messages=150)
+    deser = {
+        "RpcNIC (us)": {n: r.deser_rpcnic_us for n, r in results.items()},
+        "CXL-NIC (us)": {n: r.deser_cxl_us for n, r in results.items()},
+        "speedup": {n: r.deser_speedup for n, r in results.items()},
+    }
+    print(render_series("bench", deser, title="Deserialization (Fig. 18a)"))
+    print()
+    ser = {
+        "RpcNIC (us)": {n: r.ser_rpcnic_us for n, r in results.items()},
+        "CXL.mem (us)": {n: r.ser_cxl_mem_us for n, r in results.items()},
+        "CXL.cache (us)": {n: r.ser_cxl_cache_us for n, r in results.items()},
+        "CXL.cache+pf (us)": {n: r.ser_cxl_cache_pf_us for n, r in results.items()},
+        "mem speedup": {n: r.ser_speedup_mem for n, r in results.items()},
+        "pf gain %": {n: 100 * r.prefetch_gain for n, r in results.items()},
+    }
+    print(render_series("bench", ser, title="Serialization (Fig. 18b)"))
+    print()
+    avg = sum(r.deser_speedup for r in results.values()) / len(results)
+    print(f"Average deserialization speedup: {avg:.2f}x (paper: ~1.86x overall)")
+
+
+if __name__ == "__main__":
+    main()

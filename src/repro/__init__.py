@@ -1,0 +1,36 @@
+"""Cohet / SimCXL reproduction.
+
+A CXL-driven coherent heterogeneous computing framework (Cohet) plus a
+full-system, hardware-calibrated, cycle-level simulator (SimCXL) —
+reproducing "Cohet: A CXL-Driven Coherent Heterogeneous Computing
+Framework with Hardware-Calibrated Full-System Simulation" (HPCA 2026).
+
+Quickstart::
+
+    from repro import CohetSystem, asic_system
+    system = CohetSystem.build_default(asic_system())
+    ptr = system.process.malloc(1 << 20)       # plain malloc
+    queue = system.queue("xpu0")               # OpenCL-style queue
+
+Experiments::
+
+    from repro.harness import run_experiment
+    print(run_experiment("fig17").text)
+"""
+
+from repro.config import asic_system, fpga_system
+from repro.core import CohetSystem, CohetProcess, CommandQueue, Kernel
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "asic_system",
+    "fpga_system",
+    "CohetSystem",
+    "CohetProcess",
+    "CommandQueue",
+    "Kernel",
+    "Simulator",
+    "__version__",
+]

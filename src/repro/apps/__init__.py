@@ -1,0 +1,21 @@
+"""Application studies from the paper's outlook (§VIII).
+
+Graph processing and in-memory key-value stores are the workloads the
+paper names as next beneficiaries of coherent offload: both are
+dominated by fine-grained, irregular memory accesses — exactly where
+CXL.cache beats descriptor-driven DMA.
+"""
+
+from repro.apps.offload import AccessTraceEngine, OffloadComparison
+from repro.apps.graph import GraphWorkload, bfs_offload_study, pagerank_offload_study
+from repro.apps.kvstore import KvStore, kv_offload_study
+
+__all__ = [
+    "AccessTraceEngine",
+    "OffloadComparison",
+    "GraphWorkload",
+    "bfs_offload_study",
+    "pagerank_offload_study",
+    "KvStore",
+    "kv_offload_study",
+]

@@ -1,0 +1,130 @@
+"""Graph processing over the coherent pool (§VIII outlook).
+
+Graph kernels are the canonical fine-grained-irregular workload: BFS
+chases neighbour lists scattered across a CSR structure, PageRank
+streams over edges but scatters rank updates.  Both are executed
+functionally here (real BFS/PageRank over a generated graph) while the
+induced cacheline trace is replayed on the CXL and PCIe substrates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.apps.offload import Access, AccessTraceEngine, OffloadComparison
+from repro.config.system import SystemConfig
+from repro.mem.address import CACHELINE
+
+_VERTEX_BYTES = 8          # rank / parent per vertex
+_EDGE_BYTES = 8            # one neighbour id
+_VERTEX_BASE = 0x1000_0000
+_EDGE_BASE = 0x3000_0000
+
+
+@dataclass
+class GraphWorkload:
+    """A graph in CSR form plus its address map."""
+
+    graph: nx.Graph
+    row_offsets: List[int]
+    columns: List[int]
+
+    @classmethod
+    def generate(cls, vertices: int = 256, degree: int = 4, seed: int = 5) -> "GraphWorkload":
+        graph = nx.barabasi_albert_graph(vertices, degree, seed=seed)
+        row_offsets = [0]
+        columns: List[int] = []
+        for v in range(vertices):
+            neighbours = sorted(graph.neighbors(v))
+            columns.extend(neighbours)
+            row_offsets.append(len(columns))
+        return cls(graph, row_offsets, columns)
+
+    @property
+    def vertices(self) -> int:
+        return len(self.row_offsets) - 1
+
+    def vertex_addr(self, v: int) -> int:
+        return _VERTEX_BASE + v * _VERTEX_BYTES
+
+    def edge_addr(self, index: int) -> int:
+        return _EDGE_BASE + index * _EDGE_BYTES
+
+    def neighbours(self, v: int) -> Tuple[range, List[int]]:
+        start, end = self.row_offsets[v], self.row_offsets[v + 1]
+        return range(start, end), self.columns[start:end]
+
+
+def bfs_trace(workload: GraphWorkload, source: int = 0) -> Tuple[List[Access], Dict[int, int]]:
+    """Run BFS functionally; returns (access trace, distance map)."""
+    distance = {source: 0}
+    frontier = [source]
+    trace: List[Access] = []
+    while frontier:
+        next_frontier: List[Access] = []
+        new_frontier: List[int] = []
+        for v in frontier:
+            edge_range, neighbours = workload.neighbours(v)
+            for edge_index, u in zip(edge_range, neighbours):
+                trace.append(Access(workload.edge_addr(edge_index)))   # edge read
+                if u not in distance:
+                    distance[u] = distance[v] + 1
+                    trace.append(Access(workload.vertex_addr(u), write=True))
+                    new_frontier.append(u)
+        frontier = new_frontier
+    return trace, distance
+
+
+def pagerank_trace(
+    workload: GraphWorkload, iterations: int = 2
+) -> Tuple[List[Access], Dict[int, float]]:
+    """Run power-iteration PageRank functionally; returns (trace, ranks)."""
+    n = workload.vertices
+    ranks = {v: 1.0 / n for v in range(n)}
+    damping = 0.85
+    trace: List[Access] = []
+    for _ in range(iterations):
+        incoming = {v: 0.0 for v in range(n)}
+        for v in range(n):
+            trace.append(Access(workload.vertex_addr(v)))            # rank read
+            edge_range, neighbours = workload.neighbours(v)
+            if not neighbours:
+                continue
+            share = ranks[v] / len(neighbours)
+            for edge_index, u in zip(edge_range, neighbours):
+                trace.append(Access(workload.edge_addr(edge_index)))  # edge read
+                incoming[u] += share
+                trace.append(Access(workload.vertex_addr(u), write=True))  # scatter
+        ranks = {
+            v: (1 - damping) / n + damping * incoming[v] for v in range(n)
+        }
+    return trace, ranks
+
+
+def bfs_offload_study(
+    config: SystemConfig, vertices: int = 192, degree: int = 4, seed: int = 5
+) -> OffloadComparison:
+    """BFS correctness (vs. networkx) + offload comparison."""
+    workload = GraphWorkload.generate(vertices, degree, seed)
+    trace, distance = bfs_trace(workload)
+    expected = nx.single_source_shortest_path_length(workload.graph, 0)
+    if distance != dict(expected):
+        raise AssertionError("BFS result diverged from networkx reference")
+    engine = AccessTraceEngine(config)
+    return engine.compare("bfs", trace)
+
+
+def pagerank_offload_study(
+    config: SystemConfig, vertices: int = 96, degree: int = 3, seed: int = 5
+) -> OffloadComparison:
+    """PageRank scatter phase offload comparison."""
+    workload = GraphWorkload.generate(vertices, degree, seed)
+    trace, ranks = pagerank_trace(workload)
+    if abs(sum(ranks.values()) - 1.0) > 1e-6:
+        raise AssertionError("PageRank mass not conserved")
+    engine = AccessTraceEngine(config)
+    return engine.compare("pagerank", trace)

@@ -1,0 +1,28 @@
+"""Cache substrate: arrays, MESI coherence, peer caches, LLC home agent."""
+
+from repro.cache.block import CacheBlock, MesiState
+from repro.cache.array import CacheArray
+from repro.cache.messages import CoherenceMessage, MessageType
+from repro.cache.mesi import ALLOWED_TRANSITIONS, check_transition, ProtocolError
+from repro.cache.l1 import L1Cache
+from repro.cache.llc import SharedLLC, LlcOp
+from repro.cache.hmc import HostMemoryCache
+from repro.cache.hierarchy import GlobalAgent, HierarchicalDomain, LocalAgent
+
+__all__ = [
+    "CacheBlock",
+    "MesiState",
+    "CacheArray",
+    "CoherenceMessage",
+    "MessageType",
+    "ALLOWED_TRANSITIONS",
+    "check_transition",
+    "ProtocolError",
+    "L1Cache",
+    "SharedLLC",
+    "LlcOp",
+    "HostMemoryCache",
+    "GlobalAgent",
+    "HierarchicalDomain",
+    "LocalAgent",
+]

@@ -1,0 +1,135 @@
+"""Set-associative tag array with true-LRU replacement."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.cache.block import CacheBlock, MesiState
+from repro.mem.address import CACHELINE, line_base
+
+
+class CacheArray:
+    """Tag store: ``size`` bytes, ``ways``-way set associative.
+
+    Operates on full physical addresses (internally line-aligned).  The
+    array never evicts silently: ``insert`` returns the victim so the
+    controller can act on dirty data.
+    """
+
+    def __init__(self, size: int, ways: int, line: int = CACHELINE, name: str = "cache") -> None:
+        if size <= 0 or ways <= 0 or line <= 0:
+            raise ValueError("size, ways and line must be positive")
+        if size % (ways * line):
+            raise ValueError("size must be a multiple of ways * line")
+        self.size = size
+        self.ways = ways
+        self.line = line
+        self.name = name
+        self.num_sets = size // (ways * line)
+        self._sets: List[Dict[int, CacheBlock]] = [dict() for _ in range(self.num_sets)]
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+
+    def _index_tag(self, addr: int) -> Tuple[int, int]:
+        base = line_base(addr, self.line)
+        index = (base // self.line) % self.num_sets
+        tag = base // (self.line * self.num_sets)
+        return index, tag
+
+    def lookup(self, addr: int, touch: bool = True) -> Optional[CacheBlock]:
+        """Return the valid block holding ``addr``, or None (counts stats)."""
+        index, tag = self._index_tag(addr)
+        block = self._sets[index].get(tag)
+        if block is not None and block.valid:
+            self.hits += 1
+            if touch:
+                self._tick += 1
+                block.last_touch = self._tick
+            return block
+        self.misses += 1
+        return None
+
+    def peek(self, addr: int) -> Optional[CacheBlock]:
+        """Lookup without statistics or LRU update."""
+        index, tag = self._index_tag(addr)
+        block = self._sets[index].get(tag)
+        if block is not None and block.valid:
+            return block
+        return None
+
+    def insert(
+        self, addr: int, state: MesiState
+    ) -> Tuple[CacheBlock, Optional[Tuple[int, CacheBlock]]]:
+        """Fill ``addr`` with ``state``; returns ``(block, victim)``.
+
+        ``victim`` is ``(victim_addr, victim_block)`` when a valid line
+        had to be replaced, else None.  Locked lines are never chosen as
+        victims; inserting into a set whose lines are all locked raises.
+        """
+        if state is MesiState.INVALID:
+            raise ValueError("cannot insert an invalid line")
+        index, tag = self._index_tag(addr)
+        cache_set = self._sets[index]
+        self._tick += 1
+        existing = cache_set.get(tag)
+        if existing is not None and existing.valid:
+            existing.state = state
+            existing.last_touch = self._tick
+            return existing, None
+
+        victim_info: Optional[Tuple[int, CacheBlock]] = None
+        if len(cache_set) >= self.ways:
+            candidates = [b for b in cache_set.values() if not b.locked]
+            if not candidates:
+                raise RuntimeError(
+                    f"{self.name}: all ways locked in set {index}, cannot fill"
+                )
+            victim = min(candidates, key=lambda b: b.last_touch)
+            victim_addr = self._block_addr(index, victim.tag)
+            del cache_set[victim.tag]
+            if victim.valid:
+                self.evictions += 1
+                if victim.dirty:
+                    self.dirty_evictions += 1
+                victim_info = (victim_addr, victim)
+
+        block = CacheBlock(tag, state)
+        block.last_touch = self._tick
+        cache_set[tag] = block
+        return block, victim_info
+
+    def invalidate(self, addr: int) -> Optional[CacheBlock]:
+        """Drop the line holding ``addr``; returns the old block if valid."""
+        index, tag = self._index_tag(addr)
+        block = self._sets[index].pop(tag, None)
+        if block is not None and block.valid:
+            return block
+        return None
+
+    def _block_addr(self, index: int, tag: int) -> int:
+        return (tag * self.num_sets + index) * self.line
+
+    def blocks(self) -> Iterator[Tuple[int, CacheBlock]]:
+        """Iterate ``(line_addr, block)`` over all valid lines."""
+        for index, cache_set in enumerate(self._sets):
+            for tag, block in cache_set.items():
+                if block.valid:
+                    yield self._block_addr(index, tag), block
+
+    @property
+    def occupancy(self) -> int:
+        return sum(1 for _addr, _block in self.blocks())
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0

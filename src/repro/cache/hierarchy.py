@@ -1,0 +1,139 @@
+"""Hierarchical coherence for multi-node supernodes (§VIII).
+
+As the coherence domain scales past one host, a flat directory drowns
+in cross-fabric traffic.  The paper's planned mitigation: each child
+node runs a *local agent* that fields its own coherence transactions
+and consults a single *global agent* only when it lacks the requested
+replica.  This module implements that two-level protocol functionally
+(line ownership tracking) and accounts the fabric messages each level
+generates, so the traffic savings are measurable (see the
+``hierarchical coherence`` ablation bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.cxl.switch import SwitchFabric
+from repro.mem.address import line_base
+
+
+@dataclass
+class LineState:
+    owner: Optional[str] = None          # exclusive child, if any
+    sharers: Set[str] = field(default_factory=set)
+
+
+class GlobalAgent:
+    """The supernode's root coherence point."""
+
+    def __init__(self, name: str = "global-agent") -> None:
+        self.name = name
+        self._lines: Dict[int, LineState] = {}
+        self.requests = 0
+        self.invalidations_sent = 0
+
+    def _line(self, addr: int) -> LineState:
+        return self._lines.setdefault(line_base(addr), LineState())
+
+    def acquire(self, child: str, addr: int, exclusive: bool) -> Tuple[Set[str], int]:
+        """Grant ``child`` access; returns (children to invalidate, msgs)."""
+        self.requests += 1
+        line = self._line(addr)
+        messages = 2  # request + grant
+        to_invalidate: Set[str] = set()
+        if exclusive:
+            if line.owner is not None and line.owner != child:
+                to_invalidate.add(line.owner)
+            to_invalidate |= {s for s in line.sharers if s != child}
+            line.owner = child
+            line.sharers = set()
+        else:
+            if line.owner is not None and line.owner != child:
+                # Downgrade the owner to sharer.
+                to_invalidate.add(line.owner)
+                line.sharers.add(line.owner)
+                line.owner = None
+            line.sharers.add(child)
+        messages += 2 * len(to_invalidate)  # invalidate + ack per child
+        self.invalidations_sent += len(to_invalidate)
+        return to_invalidate, messages
+
+    def release(self, child: str, addr: int) -> None:
+        line = self._line(addr)
+        if line.owner == child:
+            line.owner = None
+        line.sharers.discard(child)
+
+
+class LocalAgent:
+    """A child node's coherence agent: filters traffic to the global agent."""
+
+    def __init__(self, name: str, global_agent: GlobalAgent) -> None:
+        self.name = name
+        self.global_agent = global_agent
+        self._replicas: Dict[int, bool] = {}   # line -> exclusive?
+        self.local_hits = 0
+        self.global_requests = 0
+        self.fabric_messages = 0
+
+    def access(self, addr: int, exclusive: bool = False) -> bool:
+        """One access from this child; returns True if satisfied locally."""
+        addr = line_base(addr)
+        held = self._replicas.get(addr)
+        if held is not None and (not exclusive or held):
+            self.local_hits += 1
+            return True
+        self.global_requests += 1
+        _invalidated, messages = self.global_agent.acquire(self.name, addr, exclusive)
+        self.fabric_messages += messages
+        self._replicas[addr] = exclusive
+        return False
+
+    def invalidate(self, addr: int) -> None:
+        self._replicas.pop(line_base(addr), None)
+
+    @property
+    def filter_rate(self) -> float:
+        total = self.local_hits + self.global_requests
+        return self.local_hits / total if total else 0.0
+
+
+class HierarchicalDomain:
+    """A supernode: one global agent + N local agents over a fabric."""
+
+    def __init__(self, children: int, fabric: Optional[SwitchFabric] = None) -> None:
+        if children <= 0:
+            raise ValueError("need at least one child node")
+        self.global_agent = GlobalAgent()
+        self.locals: Dict[str, LocalAgent] = {
+            f"child{i}": LocalAgent(f"child{i}", self.global_agent)
+            for i in range(children)
+        }
+        self.fabric = fabric
+        self._wire_invalidations()
+
+    def _wire_invalidations(self) -> None:
+        # Wrap acquire so grants invalidate sibling replicas.
+        original = self.global_agent.acquire
+
+        def acquire(child: str, addr: int, exclusive: bool):
+            to_invalidate, messages = original(child, addr, exclusive)
+            for name in to_invalidate:
+                self.locals[name].invalidate(addr)
+            return to_invalidate, messages
+
+        self.global_agent.acquire = acquire  # type: ignore[method-assign]
+
+    def access(self, child: str, addr: int, exclusive: bool = False) -> bool:
+        return self.locals[child].access(addr, exclusive)
+
+    @property
+    def total_fabric_messages(self) -> int:
+        return sum(agent.fabric_messages for agent in self.locals.values())
+
+    def flat_equivalent_messages(self, accesses: int) -> int:
+        """Traffic a flat (no local agent) directory would generate:
+        every access crosses the fabric (request + grant)."""
+        return 2 * accesses

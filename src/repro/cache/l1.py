@@ -1,0 +1,137 @@
+"""Private L1 peer cache for a host core.
+
+Core0-L1 in Fig. 6: a peer of the device HMC, both children of the
+shared LLC.  It implements the peer side of the protocol: local
+loads/stores that miss go to the home agent, and incoming snoops
+transition the line per MESI.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.cache.array import CacheArray
+from repro.cache.block import MesiState
+from repro.cache.mesi import check_transition
+from repro.cache.messages import MessageType
+from repro.config.system import HostParams
+from repro.mem.address import line_base
+from repro.sim.component import Component
+from repro.sim.engine import Simulator
+
+
+class L1Cache(Component):
+    """A core-private L1 data cache (peer cache)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: HostParams,
+        llc,  # SharedLLC; untyped to avoid a circular import
+        core_id: int = 0,
+        hit_ps: int = 1_500,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(sim, name or f"core{core_id}-L1")
+        self.llc = llc
+        self.core_id = core_id
+        self.hit_ps = hit_ps
+        self.array = CacheArray(host.l1_size, host.l1_ways, name=self.name)
+        llc.register_peer(self.name, self)
+        self.snoops_received = 0
+
+    # ------------------------------------------------------------------
+    # CPU-side operations
+    # ------------------------------------------------------------------
+    def load(self, addr: int, on_done: Callable[[], None]) -> None:
+        """Coherent load; fills the line Shared on a miss."""
+        addr = line_base(addr)
+        block = self.array.lookup(addr)
+        if block is not None:
+            self.schedule(self.hit_ps, on_done)
+            return
+
+        def filled() -> None:
+            new_block, victim = self.array.insert(addr, MesiState.SHARED)
+            check_transition(MesiState.INVALID, "fill_s", new_block.state)
+            if victim is not None:
+                self._write_back_victim(*victim)
+            on_done()
+
+        from repro.cache.llc import LlcOp
+
+        self.llc.request(self.name, LlcOp.RD_SHARED, addr, filled)
+
+    def store(self, addr: int, on_done: Callable[[], None]) -> None:
+        """Coherent store; acquires ownership then dirties the line."""
+        addr = line_base(addr)
+        block = self.array.lookup(addr)
+        if block is not None and block.state.writable:
+            if block.state is MesiState.EXCLUSIVE:
+                block.state = check_transition(block.state, "local_write", MesiState.MODIFIED)
+            self.schedule(self.hit_ps, on_done)
+            return
+
+        def owned() -> None:
+            new_block, victim = self.array.insert(addr, MesiState.EXCLUSIVE)
+            check_transition(MesiState.INVALID, "fill_e", new_block.state)
+            new_block.state = check_transition(
+                new_block.state, "local_write", MesiState.MODIFIED
+            )
+            if victim is not None:
+                self._write_back_victim(*victim)
+            on_done()
+
+        from repro.cache.llc import LlcOp
+
+        self.llc.request(self.name, LlcOp.RD_OWN, addr, owned)
+
+    def evict(self, addr: int, on_done: Callable[[], None]) -> None:
+        """Voluntarily evict a line (dirty lines use the DirtyEvict flow)."""
+        addr = line_base(addr)
+        block = self.array.peek(addr)
+        if block is None:
+            self.schedule(0, on_done)
+            return
+        from repro.cache.llc import LlcOp
+
+        op = LlcOp.DIRTY_EVICT if block.dirty else LlcOp.CLEAN_EVICT
+
+        def done() -> None:
+            self.array.invalidate(addr)
+            on_done()
+
+        self.llc.request(self.name, op, addr, done)
+
+    def _write_back_victim(self, victim_addr: int, victim) -> None:
+        from repro.cache.llc import LlcOp
+
+        if victim.dirty:
+            self.llc.request(self.name, LlcOp.DIRTY_EVICT, victim_addr, lambda: None)
+        else:
+            self.llc.request(self.name, LlcOp.CLEAN_EVICT, victim_addr, lambda: None)
+
+    # ------------------------------------------------------------------
+    # Home-agent-facing side
+    # ------------------------------------------------------------------
+    def snoop(self, snoop_type: MessageType, addr: int) -> MessageType:
+        """Handle an incoming snoop; returns the response message type."""
+        self.snoops_received += 1
+        addr = line_base(addr)
+        block = self.array.peek(addr)
+        if block is None:
+            return MessageType.RSP_I
+        if snoop_type is MessageType.SNP_INV:
+            dirty = block.dirty
+            check_transition(block.state, "snp_inv", MesiState.INVALID)
+            self.array.invalidate(addr)
+            return MessageType.RSP_I_FWD_M if dirty else MessageType.RSP_I
+        if snoop_type is MessageType.SNP_DATA:
+            dirty = block.dirty
+            block.state = check_transition(block.state, "snp_data", MesiState.SHARED)
+            return MessageType.RSP_S_FWD_S if dirty else MessageType.RSP_I
+        raise ValueError(f"unexpected snoop {snoop_type}")
+
+    # Test fixture: install a line in a given state without traffic.
+    def install(self, addr: int, state: MesiState) -> None:
+        self.array.insert(line_base(addr), state)

@@ -1,0 +1,31 @@
+"""Hardware calibration: reference measurements, metrics, fitting."""
+
+from repro.calibration.reference import (
+    DMA_BANDWIDTH_GBPS,
+    DMA_LATENCY_NS,
+    LOAD_BANDWIDTH_GBPS,
+    LOAD_LATENCY_NS,
+    NUMA_MEDIAN_NS,
+    RAO_SPEEDUP,
+    RPC_DESER_SPEEDUP,
+    RPC_SER_SPEEDUP_MEM,
+)
+from repro.calibration.metrics import absolute_percentage_error, mape
+from repro.calibration.microbench import CxlTestbench
+from repro.calibration.calibrator import Calibrator, CalibrationTarget
+
+__all__ = [
+    "DMA_BANDWIDTH_GBPS",
+    "DMA_LATENCY_NS",
+    "LOAD_BANDWIDTH_GBPS",
+    "LOAD_LATENCY_NS",
+    "NUMA_MEDIAN_NS",
+    "RAO_SPEEDUP",
+    "RPC_DESER_SPEEDUP",
+    "RPC_SER_SPEEDUP_MEM",
+    "absolute_percentage_error",
+    "mape",
+    "CxlTestbench",
+    "Calibrator",
+    "CalibrationTarget",
+]

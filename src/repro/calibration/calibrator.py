@@ -1,0 +1,82 @@
+"""Parameter calibrator: fit one model knob against a reference target.
+
+The shipped presets were produced by exactly this procedure; the class
+stays in the library so users can re-calibrate after changing the
+model (the paper's §VI-A.4 methodology: tune SimCXL's configurable
+parameters until it matches the testbed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+
+@dataclass
+class CalibrationTarget:
+    """A measurable with its reference value and tolerance."""
+
+    name: str
+    reference: float
+    tolerance: float = 0.03
+
+    def within(self, measured: float) -> bool:
+        return abs(measured - self.reference) <= self.tolerance * abs(self.reference)
+
+
+class Calibrator:
+    """Monotonic 1-D bisection fit of ``measure(param) -> value``.
+
+    ``measure`` must be monotonic in the parameter over the bracket
+    (true for every latency/II knob in SimCXL: more picoseconds, more
+    latency / less bandwidth).
+    """
+
+    def __init__(
+        self,
+        measure: Callable[[float], float],
+        target: CalibrationTarget,
+        increasing: bool = True,
+    ) -> None:
+        self.measure = measure
+        self.target = target
+        self.increasing = increasing
+        self.evaluations = 0
+
+    def fit(
+        self,
+        low: float,
+        high: float,
+        max_iters: int = 40,
+        rel_tol: float = 1e-3,
+    ) -> Tuple[float, float]:
+        """Returns ``(param, measured)`` with measured ~= reference."""
+        if low >= high:
+            raise ValueError("need low < high bracket")
+        reference = self.target.reference
+
+        def signed(value: float) -> float:
+            delta = value - reference
+            return delta if self.increasing else -delta
+
+        lo_val = self.measure(low)
+        hi_val = self.measure(high)
+        self.evaluations += 2
+        if signed(lo_val) > 0 or signed(hi_val) < 0:
+            raise ValueError(
+                f"target {reference} not bracketed: f({low})={lo_val}, f({high})={hi_val}"
+            )
+        best = (low, lo_val)
+        for _ in range(max_iters):
+            mid = (low + high) / 2
+            val = self.measure(mid)
+            self.evaluations += 1
+            if abs(val - reference) < abs(best[1] - reference):
+                best = (mid, val)
+            if abs(val - reference) <= rel_tol * abs(reference):
+                return mid, val
+            if signed(val) < 0:
+                low = mid
+            else:
+                high = mid
+        return best

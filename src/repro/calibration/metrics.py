@@ -1,0 +1,33 @@
+"""Error metrics for hardware calibration."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+
+def absolute_percentage_error(measured: float, reference: float) -> float:
+    """|measured - reference| / |reference|."""
+    if reference == 0:
+        raise ValueError("reference value must be nonzero")
+    return abs(measured - reference) / abs(reference)
+
+
+def mape(pairs: Iterable[Tuple[float, float]]) -> float:
+    """Mean absolute percentage error over ``(measured, reference)`` pairs."""
+    errors = [absolute_percentage_error(m, r) for m, r in pairs]
+    if not errors:
+        raise ValueError("no calibration points")
+    return sum(errors) / len(errors)
+
+
+def mape_by_key(
+    measured: Mapping[str, float], reference: Mapping[str, float]
+) -> Dict[str, float]:
+    """Per-key absolute percentage error for matching keys."""
+    common = set(measured) & set(reference)
+    if not common:
+        raise ValueError("no overlapping calibration keys")
+    return {
+        key: absolute_percentage_error(measured[key], reference[key])
+        for key in sorted(common)
+    }

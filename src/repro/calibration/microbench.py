@@ -1,0 +1,118 @@
+"""Calibration microbenchmark testbench.
+
+Builds the minimal hardware needed for the §VI-A microbenchmarks: an
+LSU behind a type-1 CXL device, the shared LLC, host memory, and a DMA
+engine — then runs the four preconditioned measurements (HMC hit, LLC
+hit, mem hit, DMA) for latency and bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.cache.llc import SharedLLC
+from repro.config.system import SystemConfig
+from repro.cxl.device import Type1Device
+from repro.devices.dma import DmaEngine, DmaReport
+from repro.devices.lsu import LoadStoreUnit, LsuReport
+from repro.interconnect.noc import NocTopology
+from repro.mem.address import CACHELINE, AddressRange
+from repro.mem.controller import MemoryController
+from repro.mem.interface import MemoryInterface
+from repro.sim.engine import Simulator
+
+
+class CxlTestbench:
+    """One-shot testbench; build a fresh instance per measurement."""
+
+    def __init__(self, config: SystemConfig, seed: int = 1234) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.memif = MemoryInterface(config.host.memif_oneway_ps)
+        self.controller = MemoryController(
+            config.host.dram, channels=config.host.mem_channels, seed=seed
+        )
+        self.region = AddressRange(0, 1 << 40, "host-dram")
+        self.memif.attach("host", self.region, self.controller)
+        self.llc = SharedLLC(self.sim, config.host, self.memif)
+        self.device = Type1Device(self.sim, config.device, self.llc, name="cxl-dev")
+        self.lsu = LoadStoreUnit(self.sim, self.device.dcoh)
+        self.dma = DmaEngine(self.sim, config.dma)
+        self.topology = NocTopology()
+
+    # ------------------------------------------------------------------
+    # Fig. 13 / Fig. 15 tiers
+    # ------------------------------------------------------------------
+    def _addresses(self, count: int, base: int = 0x100000) -> List[int]:
+        return self.lsu.sequential_lines(base, count)
+
+    def latency_hmc_hit(self, count: int = 32, trials: int = 32) -> LsuReport:
+        """Repeating address sequences keep hitting the HMC."""
+        addrs = self._addresses(count)
+        self.lsu.warm_hmc(addrs)
+        return self.lsu.run_latency(addrs * trials)
+
+    def latency_llc_hit(self, count: int = 32, trials: int = 32) -> LsuReport:
+        """CLDEMOTE pushes the lines to the LLC before each trial."""
+        samples = None
+        base = 0x100000
+        for trial in range(trials):
+            addrs = self._addresses(count, base + trial * count * CACHELINE * 2)
+            for addr in addrs:
+                self.llc.demote(addr)
+            report = self.lsu.run_latency(addrs)
+            samples = self._merge(samples, report)
+        return samples
+
+    def latency_mem_hit(self, count: int = 32, trials: int = 32, node: int = 7) -> LsuReport:
+        """CLFLUSH pushes the lines all the way to memory; NUMA distance
+        selects which node's memory the pages live on (Fig. 12)."""
+        samples = None
+        base = 0x200000
+        extra = self.topology.extra_ps(node)
+        for trial in range(trials):
+            addrs = self._addresses(count, base + trial * count * CACHELINE * 2)
+            for addr in addrs:
+                self.llc.flush(addr)
+            report = self.lsu.run_latency(addrs, extra_rt_ps=extra)
+            samples = self._merge(samples, report)
+        return samples
+
+    @staticmethod
+    def _merge(acc: Optional[LsuReport], new: LsuReport) -> LsuReport:
+        if acc is None:
+            return new
+        acc.latencies.extend(new.latencies.samples)
+        return LsuReport(
+            latencies=acc.latencies,
+            bandwidth_gbps=None,
+            hmc_hits=new.hmc_hits,
+            requests=acc.requests + new.requests,
+        )
+
+    def bandwidth_hmc_hit(self, count: int = 2048) -> LsuReport:
+        addrs = self._addresses(count)
+        self.lsu.warm_hmc(addrs)
+        return self.lsu.run_bandwidth(addrs)
+
+    def bandwidth_llc_hit(self, count: int = 2048) -> LsuReport:
+        addrs = self._addresses(count)
+        for addr in addrs:
+            self.llc.demote(addr)
+        return self.lsu.run_bandwidth(addrs)
+
+    def bandwidth_mem_hit(self, count: int = 2048) -> LsuReport:
+        addrs = self._addresses(count)
+        for addr in addrs:
+            self.llc.flush(addr)
+        return self.lsu.run_bandwidth(addrs)
+
+    # ------------------------------------------------------------------
+    # DMA measurements (Figs. 14/16)
+    # ------------------------------------------------------------------
+    def dma_latency(self, size: int = 64, repeats: int = 100) -> DmaReport:
+        return self.dma.measure_latency(size, repeats=repeats)
+
+    def dma_bandwidth(self, size: int = 64, descriptors: int = 2048) -> DmaReport:
+        return self.dma.measure_bandwidth(size, descriptors=descriptors)

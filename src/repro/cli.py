@@ -1,0 +1,100 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig17
+    python -m repro run all --out results.txt
+    python -m repro info
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO, List, Optional
+
+from repro import __version__
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+
+
+def _cmd_list(_args: argparse.Namespace, out: IO[str]) -> int:
+    out.write("available experiments:\n")
+    for name in EXPERIMENTS:
+        doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
+        out.write(f"  {name:<9} {doc}\n")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace, out: IO[str]) -> int:
+    names: List[str] = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        out.write(f"unknown experiment(s): {', '.join(unknown)}\n")
+        out.write(f"options: {', '.join(EXPERIMENTS)} or 'all'\n")
+        return 2
+    for name in names:
+        result = run_experiment(name)
+        out.write(result.text)
+        out.write("\n\n")
+    return 0
+
+
+def _cmd_info(_args: argparse.Namespace, out: IO[str]) -> int:
+    from repro.config import asic_system, fpga_system
+
+    out.write(f"repro {__version__} — Cohet/SimCXL reproduction\n\n")
+    for make in (fpga_system, asic_system):
+        config = make()
+        out.write(f"profile {config.name}:\n")
+        out.write(f"  device        : {config.device.name}"
+                  f" ({config.device.freq_mhz:.0f} MHz)\n")
+        out.write(f"  HMC           : {config.device.hmc_size // 1024} KB,"
+                  f" {config.device.hmc_ways}-way\n")
+        out.write(f"  HMC hit       : {config.device.hmc_hit_ps / 1000:.1f} ns\n")
+        out.write(f"  LLC hit       : {config.llc_hit_ps / 1000:.1f} ns\n")
+        out.write(f"  mem hit       : {config.mem_hit_ps / 1000:.1f} ns\n")
+        out.write(f"  DMA 64B       : {config.dma.transfer_ps(64) / 1000:.1f} ns\n")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cohet/SimCXL reproduction: regenerate the paper's tables and figures",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id (see 'list') or 'all'")
+    run.add_argument("--out", help="write results to this file instead of stdout")
+
+    sub.add_parser("info", help="show calibrated profile summaries")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    sink: IO[str] = sys.stdout
+    close_sink = False
+    if getattr(args, "out", None):
+        sink = open(args.out, "w")
+        close_sink = True
+    try:
+        if args.command == "list":
+            return _cmd_list(args, sink)
+        if args.command == "run":
+            return _cmd_run(args, sink)
+        if args.command == "info":
+            return _cmd_info(args, sink)
+        raise AssertionError(f"unhandled command {args.command}")
+    finally:
+        if close_sink:
+            sink.close()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

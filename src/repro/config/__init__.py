@@ -1,0 +1,41 @@
+"""System configuration dataclasses and calibrated presets."""
+
+from repro.config.system import (
+    DeviceProfile,
+    DmaParams,
+    DramParams,
+    HostParams,
+    NicRaoParams,
+    RpcParams,
+    SystemConfig,
+    TestbedConfig,
+)
+from repro.config.presets import (
+    ASIC_1500,
+    FPGA_400,
+    PCIE_ASIC_1500,
+    PCIE_FPGA_400,
+    asic_system,
+    fpga_system,
+    simcxl_table1_config,
+    testbed_table1_config,
+)
+
+__all__ = [
+    "DeviceProfile",
+    "DmaParams",
+    "DramParams",
+    "HostParams",
+    "NicRaoParams",
+    "RpcParams",
+    "SystemConfig",
+    "TestbedConfig",
+    "FPGA_400",
+    "ASIC_1500",
+    "PCIE_FPGA_400",
+    "PCIE_ASIC_1500",
+    "fpga_system",
+    "asic_system",
+    "testbed_table1_config",
+    "simcxl_table1_config",
+]

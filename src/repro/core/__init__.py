@@ -1,0 +1,17 @@
+"""Cohet core: the coherent heterogeneous computing framework."""
+
+from repro.core.unified_memory import CohetProcess
+from repro.core.runtime import CommandQueue, ComputeDevice, Kernel, KernelEvent
+from repro.core.cohet import CohetSystem, DeviceSpec
+from repro.core.supernode import Supernode
+
+__all__ = [
+    "CohetProcess",
+    "CommandQueue",
+    "ComputeDevice",
+    "Kernel",
+    "KernelEvent",
+    "CohetSystem",
+    "DeviceSpec",
+    "Supernode",
+]

@@ -1,0 +1,159 @@
+"""CohetSystem: assemble a full coherent heterogeneous platform.
+
+Builds the Fig. 3 stack bottom-up: simulated hardware (host memory +
+LLC home agent + CXL devices over Flex Bus), the OS level (NUMA init,
+unified page table, IOMMU, HMM, drivers), and the user level (process
+with malloc/mmap, compute devices, command queues).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cache.llc import SharedLLC
+from repro.config.system import SystemConfig
+from repro.core.runtime import CommandQueue, ComputeDevice
+from repro.core.unified_memory import CohetProcess
+from repro.cxl.device import DeviceType, Type1Device, Type2Device, Type3Device
+from repro.cxl.io import enumerate_devices
+from repro.kernel.driver import XpuDriver
+from repro.kernel.fabric import FabricManager
+from repro.kernel.hmm import Hmm
+from repro.kernel.ats import Iommu
+from repro.kernel.numa import NodeKind, NumaRegistry, numa_init
+from repro.kernel.page_table import UnifiedPageTable
+from repro.mem.address import AddressRange, split_evenly
+from repro.mem.controller import MemoryController
+from repro.mem.interface import MemoryInterface
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class DeviceSpec:
+    """Request for one CXL device in the system."""
+
+    name: str
+    device_type: DeviceType
+    hdm_bytes: int = 0   # device memory for type-2/3
+
+
+class CohetSystem:
+    """A booted Cohet platform."""
+
+    HOST_BASE = 0x0
+    HDM_BASE = 0x8_0000_0000  # device windows start at 32 GB
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        host_nodes: int = 1,
+        devices: Sequence[DeviceSpec] = (),
+        host_bytes: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        self.sim = Simulator()
+
+        # ---------------- hardware: host memory + home agent ----------
+        host_bytes = host_bytes or config.host.dram_size
+        self.host_region = AddressRange(self.HOST_BASE, host_bytes, "host-dram")
+        self.memif = MemoryInterface(config.host.memif_oneway_ps)
+        self.host_controller = MemoryController(
+            config.host.dram,
+            channels=config.host.mem_channels,
+            ii_ps=0,
+        )
+        self.memif.attach("host", self.host_region, self.host_controller)
+        self.llc = SharedLLC(self.sim, config.host, self.memif)
+
+        # ---------------- hardware: CXL devices -----------------------
+        self.devices: Dict[str, object] = {}
+        xpu_regions: List[AddressRange] = []
+        expander_regions: List[AddressRange] = []
+        cursor = self.HDM_BASE
+        for spec in devices:
+            if spec.device_type is DeviceType.TYPE1:
+                device = Type1Device(self.sim, config.device, self.llc, name=spec.name)
+            else:
+                if spec.hdm_bytes <= 0:
+                    raise ValueError(f"{spec.name}: type-2/3 devices need hdm_bytes")
+                hdm = AddressRange(cursor, cursor + spec.hdm_bytes, f"{spec.name}-hdm")
+                cursor = hdm.end
+                if spec.device_type is DeviceType.TYPE2:
+                    xpu_regions.append(hdm)
+                    device = Type2Device(
+                        self.sim, config.device, config.host, self.llc, self.memif,
+                        hdm, name=spec.name,
+                    )
+                else:
+                    expander_regions.append(hdm)
+                    device = Type3Device(
+                        self.sim, config.device, config.host, self.memif,
+                        hdm, name=spec.name,
+                    )
+            self.devices[spec.name] = device
+
+        # BIOS: enumerate config spaces, size BARs, map MMIO windows.
+        slots = [
+            (0, slot, dev.config_space)
+            for slot, dev in enumerate(self.devices.values())
+        ]
+        self.enumerated = {
+            name: entry
+            for name, entry in zip(self.devices, enumerate_devices(slots))
+        }
+
+        # ---------------- OS level ------------------------------------
+        host_ranges = split_evenly(self.host_region, host_nodes)
+        self.numa: NumaRegistry = numa_init(host_ranges, xpu_regions, expander_regions)
+        self.page_table = UnifiedPageTable(pid=1)
+        self.iommu = Iommu(self.page_table)
+        self.hmm = Hmm(self.page_table, self.numa, self.iommu)
+        self.fabric = FabricManager()
+
+        self.drivers: Dict[str, XpuDriver] = {}
+        xpu_nodes = [n.node_id for n in self.numa.by_kind(NodeKind.XPU)]
+        xpu_cursor = 0
+        for name, device in self.devices.items():
+            memory_node = None
+            if getattr(device, "device_type", None) is DeviceType.TYPE2:
+                memory_node = xpu_nodes[xpu_cursor]
+                xpu_cursor += 1
+            driver = XpuDriver(device, self.enumerated[name], self.hmm, memory_node)
+            driver.open()
+            driver.mmap_bar(0)
+            self.drivers[name] = driver
+            self.fabric.add_xpu(name, config.device.name)
+            self.fabric.allocate_xpu("host0")
+
+        # ---------------- user level ----------------------------------
+        cpu_node = self.numa.by_kind(NodeKind.CPU)[0].node_id
+        self.process = CohetProcess(self.hmm, pid=1, default_node=cpu_node)
+        self.cpu_device = ComputeDevice("cpu-pool", cpu_node, is_xpu=False)
+        self.compute_devices: Dict[str, ComputeDevice] = {"cpu": self.cpu_device}
+        for name, driver in self.drivers.items():
+            node = driver.memory_node if driver.memory_node is not None else cpu_node
+            self.compute_devices[name] = ComputeDevice(name, node, is_xpu=True)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def queue(self, device_name: str = "cpu") -> CommandQueue:
+        """Create a command queue on the named compute device."""
+        device = self.compute_devices[device_name]
+        return CommandQueue(self.process, device)
+
+    def device(self, name: str):
+        return self.devices[name]
+
+    def driver(self, name: str) -> XpuDriver:
+        return self.drivers[name]
+
+    @classmethod
+    def build_default(cls, config: SystemConfig) -> "CohetSystem":
+        """One host node, one type-2 XPU with 1 GB of device memory."""
+        return cls(
+            config,
+            host_nodes=1,
+            devices=[DeviceSpec("xpu0", DeviceType.TYPE2, hdm_bytes=1 << 30)],
+        )

@@ -1,0 +1,150 @@
+"""Multi-host supernodes over a CXL switch fabric (§VIII direction).
+
+A :class:`Supernode` composes several hosts and a pool of
+fabric-attached memory behind CXL switches:
+
+* the fabric manager leases memory ranges to hosts on demand; a leased
+  range shows up as a new CPU-less NUMA node in that host's registry,
+  so ordinary first-touch allocation can spill into it;
+* cross-host sharing goes through the two-level coherence domain
+  (local agent per host, one global agent), and every global
+  transaction pays the measured switch-fabric latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.hierarchy import HierarchicalDomain
+from repro.config.system import SystemConfig
+from repro.cxl.switch import CxlSwitch, SwitchFabric
+from repro.kernel.fabric import FabricManager, ResourceError
+from repro.kernel.numa import NodeKind, NumaNode, NumaRegistry
+from repro.mem.address import AddressRange
+
+
+@dataclass
+class SupernodeHost:
+    """One child host of the supernode."""
+
+    name: str
+    numa: NumaRegistry
+    leased_nodes: List[int] = field(default_factory=list)
+    remote_accesses: int = 0
+    remote_latency_ps: int = 0
+
+
+class Supernode:
+    """Hosts + fabric-attached memory + hierarchical coherence."""
+
+    FABRIC_BASE = 0x100_0000_0000
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        hosts: int = 2,
+        fabric_memory_bytes: int = 4 << 30,
+        memory_granule: int = 1 << 30,
+        switch_traversal_ps: int = 70_000,
+    ) -> None:
+        if hosts <= 0:
+            raise ValueError("a supernode needs at least one host")
+        self.config = config
+        self.fabric = SwitchFabric()
+        root = self.fabric.add_switch(CxlSwitch("root", switch_traversal_ps))
+        self.manager = FabricManager("supernode-fm")
+
+        self.hosts: Dict[str, SupernodeHost] = {}
+        for i in range(hosts):
+            name = f"host{i}"
+            leaf = self.fabric.add_switch(CxlSwitch(f"leaf{i}", switch_traversal_ps))
+            root.attach_switch(leaf)
+            leaf.attach_endpoint(name)
+            registry = NumaRegistry()
+            registry.add(
+                NumaNode(
+                    0,
+                    NodeKind.CPU,
+                    AddressRange(0, config.host.dram_size, f"{name}-dram"),
+                )
+            )
+            self.hosts[name] = SupernodeHost(name, registry)
+
+        # Carve the fabric-attached memory pool into leasable granules.
+        cursor = self.FABRIC_BASE
+        index = 0
+        while cursor + memory_granule <= self.FABRIC_BASE + fabric_memory_bytes:
+            region = AddressRange(cursor, cursor + memory_granule, f"fam{index}")
+            self.manager.add_memory(f"fam{index}", region)
+            root.attach_endpoint(f"fam{index}")
+            cursor += memory_granule
+            index += 1
+
+        self.domain = HierarchicalDomain(children=hosts)
+        self._child_of = {f"host{i}": f"child{i}" for i in range(hosts)}
+
+    # ------------------------------------------------------------------
+    # Memory leasing
+    # ------------------------------------------------------------------
+    def lease_memory(self, host: str, min_bytes: int) -> int:
+        """Lease a fabric granule to ``host``; returns the new node id."""
+        entry = self.hosts[host]
+        resource = self.manager.allocate_memory(host, min_bytes)
+        node_id = max(n.node_id for n in entry.numa.nodes) + 1
+        entry.numa.add(
+            NumaNode(node_id, NodeKind.MEMORY_ONLY, resource.region, resource.name)
+        )
+        entry.leased_nodes.append(node_id)
+        return node_id
+
+    def release_memory(self, host: str, node_id: int) -> None:
+        entry = self.hosts[host]
+        if node_id not in entry.leased_nodes:
+            raise ResourceError(f"{host} holds no lease on node {node_id}")
+        node = entry.numa.node(node_id)
+        if node.allocated_frames:
+            raise ResourceError(
+                f"node {node_id} still has {node.allocated_frames} frames allocated"
+            )
+        self.manager.release(node.name)
+        entry.leased_nodes.remove(node_id)
+
+    def total_capacity_bytes(self, host: str) -> int:
+        return sum(n.region.size for n in self.hosts[host].numa.nodes)
+
+    # ------------------------------------------------------------------
+    # Cross-host coherent access
+    # ------------------------------------------------------------------
+    def coherent_access(self, host: str, addr: int, exclusive: bool = False) -> int:
+        """One access from ``host``; returns the fabric latency paid (ps).
+
+        Local-agent hits are free of fabric traffic; misses consult the
+        global agent at the root switch.
+        """
+        entry = self.hosts[host]
+        child = self._child_of[host]
+        local_hit = self.domain.access(child, addr, exclusive)
+        if local_hit:
+            return 0
+        latency = 2 * self.fabric.latency_ps(host, self._any_fabric_endpoint())
+        entry.remote_accesses += 1
+        entry.remote_latency_ps += latency
+        return latency
+
+    def _any_fabric_endpoint(self) -> str:
+        for name in self.fabric.switch("root").endpoints:
+            return name
+        # No fabric memory: route to another host's leaf instead.
+        hosts = sorted(self.hosts)
+        return hosts[-1]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def utilization(self) -> Dict[str, List[str]]:
+        return {host: self.manager.holdings(host) for host in self.hosts}
+
+    @property
+    def free_fabric_bytes(self) -> int:
+        return self.manager.free_memory_bytes

@@ -1,0 +1,200 @@
+"""Device coherency engine (DCOH).
+
+The DCOH fronts the HMC: device requests check the HMC first and, on a
+miss, cross the Flex Bus to the host home agent (the shared LLC) using
+the CXL.cache protocol.  All timing comes from the calibrated device
+profile; the host side charges its own ingress/LLC/memory costs inside
+:class:`repro.cache.llc.SharedLLC`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.cache.block import MesiState
+from repro.cache.hmc import HostMemoryCache
+from repro.cache.llc import LlcOp, SharedLLC
+from repro.config.system import DeviceProfile
+from repro.cxl.transactions import DcohResult
+from repro.interconnect.flexbus import FlexBus, FlexBusChannel
+from repro.mem.address import line_base
+from repro.sim.component import Component
+from repro.sim.engine import Simulator
+
+
+class Dcoh(Component):
+    """Device coherency engine driving the HMC and the CXL.cache link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: DeviceProfile,
+        hmc: HostMemoryCache,
+        flexbus: FlexBus,
+        llc: SharedLLC,
+        name: str = "DCOH",
+    ) -> None:
+        super().__init__(sim, name)
+        self.profile = profile
+        self.hmc = hmc
+        self.flexbus = flexbus
+        self.llc = llc
+        llc.register_peer(name, hmc)
+        self.reads = 0
+        self.writes = 0
+        self.nc_pushes = 0
+        self.evictions_issued = 0
+
+    # ------------------------------------------------------------------
+    # D2H coherent read (load or read-for-ownership)
+    # ------------------------------------------------------------------
+    def read(
+        self,
+        addr: int,
+        on_done: Callable[[DcohResult], None],
+        exclusive: bool = False,
+        extra_rt_ps: int = 0,
+    ) -> None:
+        """Coherently read ``addr``; ``on_done(result)`` fires at completion.
+
+        ``extra_rt_ps`` adds NUMA routing distance (round trip) for
+        targets on distant nodes.
+        """
+        self.reads += 1
+        addr = line_base(addr)
+        req_ps = self.profile.cycles_ps(self.profile.dcoh_request_cycles)
+        self.schedule(req_ps, self._tag_lookup, addr, on_done, exclusive, extra_rt_ps)
+
+    def _tag_lookup(
+        self,
+        addr: int,
+        on_done: Callable[[DcohResult], None],
+        exclusive: bool,
+        extra_rt_ps: int,
+    ) -> None:
+        start = self.hmc.service_start(self.sim.now)
+        tag_done = start + self.hmc.tag_ps
+        block = self.hmc.lookup(addr)
+        usable = block is not None and (not exclusive or block.state.writable)
+        if usable:
+            data_done = tag_done + self.hmc.data_ps
+            resp = self.profile.cycles_ps(self.profile.dcoh_response_cycles)
+            result = DcohResult(addr, hmc_hit=True, llc_hit=False, dirty_victim=False)
+            self.schedule(data_done + resp - self.sim.now, on_done, result)
+            return
+        # Miss (or ownership upgrade): go to the host home agent.
+        self.schedule(
+            tag_done - self.sim.now,
+            self._to_host,
+            addr,
+            on_done,
+            exclusive,
+            extra_rt_ps,
+        )
+
+    def _to_host(
+        self,
+        addr: int,
+        on_done: Callable[[DcohResult], None],
+        exclusive: bool,
+        extra_rt_ps: int,
+    ) -> None:
+        op = LlcOp.RD_OWN if exclusive else LlcOp.RD_SHARED
+        outbound_extra = extra_rt_ps // 2
+        inbound_extra = extra_rt_ps - outbound_extra
+        llc_was_hit_holder = [False]
+
+        def at_host() -> None:
+            llc_was_hit_holder[0] = self.llc.holds(addr)
+            self.llc.request(self.name, op, addr, host_done)
+
+        def host_done() -> None:
+            self.schedule(
+                self.flexbus.oneway_ps + inbound_extra, back_at_device
+            )
+
+        def back_at_device() -> None:
+            fill_ps = self.profile.cycles_ps(
+                self.profile.dcoh_fill_cycles + self.profile.hmc_fill_cycles
+            )
+            state = MesiState.EXCLUSIVE if exclusive else MesiState.SHARED
+            _block, victim = self.hmc.fill(addr, state)
+            dirty_victim = victim is not None and victim[1].dirty
+            if dirty_victim:
+                self.evictions_issued += 1
+                # The writeback round itself runs off the critical path.
+                self.llc.request(self.name, LlcOp.DIRTY_EVICT, victim[0], lambda: None)
+            resp = self.profile.cycles_ps(self.profile.dcoh_response_cycles)
+            result = DcohResult(
+                addr,
+                hmc_hit=False,
+                llc_hit=llc_was_hit_holder[0],
+                dirty_victim=dirty_victim,
+            )
+            self.schedule(fill_ps + resp, on_done, result)
+
+        self.flexbus.traffic[FlexBusChannel.CACHE] += 1
+        self.schedule(self.flexbus.oneway_ps + outbound_extra, at_host)
+
+    # ------------------------------------------------------------------
+    # D2H coherent write: read-for-ownership then silent M upgrade
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        addr: int,
+        on_done: Callable[[DcohResult], None],
+        extra_rt_ps: int = 0,
+    ) -> None:
+        self.writes += 1
+        addr = line_base(addr)
+
+        def owned(result: DcohResult) -> None:
+            self.hmc.mark_modified(addr)
+            on_done(result)
+
+        self.read(addr, owned, exclusive=True, extra_rt_ps=extra_rt_ps)
+
+    # ------------------------------------------------------------------
+    # NC-P: push a line into the host LLC, invalidating the HMC copy
+    # ------------------------------------------------------------------
+    def nc_push(self, addr: int, on_done: Optional[Callable[[], None]] = None) -> None:
+        self.nc_pushes += 1
+        addr = line_base(addr)
+        self.hmc.invalidate(addr)
+
+        def at_host() -> None:
+            self.llc.request(self.name, LlcOp.NC_PUSH, addr, pushed)
+
+        def pushed() -> None:
+            if on_done is not None:
+                on_done()
+
+        req_ps = self.profile.cycles_ps(self.profile.dcoh_request_cycles)
+        self.flexbus.traffic[FlexBusChannel.CACHE] += 1
+        self.schedule(req_ps + self.flexbus.oneway_ps, at_host)
+
+    # ------------------------------------------------------------------
+    # Explicit dirty eviction (Fig. 7 phase 3)
+    # ------------------------------------------------------------------
+    def evict(self, addr: int, on_done: Callable[[], None]) -> None:
+        addr = line_base(addr)
+        block = self.hmc.peek(addr)
+        if block is None:
+            self.schedule(0, on_done)
+            return
+        op = LlcOp.DIRTY_EVICT if block.dirty else LlcOp.CLEAN_EVICT
+        self.evictions_issued += 1
+
+        def at_host() -> None:
+            self.llc.request(self.name, op, addr, host_done)
+
+        def host_done() -> None:
+            self.schedule(self.flexbus.oneway_ps, back)
+
+        def back() -> None:
+            self.hmc.invalidate(addr)
+            on_done()
+
+        req_ps = self.profile.cycles_ps(self.profile.dcoh_request_cycles)
+        self.flexbus.traffic[FlexBusChannel.CACHE] += 1
+        self.schedule(req_ps + self.flexbus.oneway_ps, at_host)

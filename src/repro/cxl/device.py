@@ -1,0 +1,131 @@
+"""CXL device types.
+
+Type-1: CXL.io + CXL.cache (e.g. a SmartNIC without device memory).
+Type-2: all three sub-protocols (accelerator with device memory).
+Type-3: CXL.io + CXL.mem (memory expander).
+
+Each device assembles its protocol blocks (config space, HMC + DCOH,
+HDM window) against a host attachment: the shared LLC and the memory
+interface.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.cache.hmc import HostMemoryCache
+from repro.cache.llc import SharedLLC
+from repro.config.system import DeviceProfile, HostParams
+from repro.cxl.dcoh import Dcoh
+from repro.cxl.io import BarRegister, ConfigSpace
+from repro.cxl.mem import CxlMemPath
+from repro.interconnect.flexbus import FlexBus
+from repro.mem.address import AddressRange
+from repro.mem.controller import MemoryController
+from repro.mem.interface import MemoryInterface
+from repro.sim.component import Component
+from repro.sim.engine import Simulator
+
+
+class DeviceType(enum.IntEnum):
+    TYPE1 = 1
+    TYPE2 = 2
+    TYPE3 = 3
+
+
+class CxlDevice(Component):
+    """Base class: every CXL device has CXL.io (config space + BARs)."""
+
+    DEVICE_ID = 0x0C00
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: DeviceProfile,
+        device_type: DeviceType,
+        name: str,
+        bar_size: int = 1 << 20,
+    ) -> None:
+        super().__init__(sim, name)
+        self.profile = profile
+        self.device_type = device_type
+        self.config_space = ConfigSpace(
+            vendor_id=ConfigSpace.VENDOR_CXL,
+            device_id=self.DEVICE_ID + int(device_type),
+            device_type=int(device_type),
+            bars=[BarRegister(0, bar_size)],
+        )
+        self.flexbus = FlexBus(sim, profile, name=f"{name}.flexbus")
+
+    @property
+    def supports_cache(self) -> bool:
+        return self.device_type in (DeviceType.TYPE1, DeviceType.TYPE2)
+
+    @property
+    def supports_mem(self) -> bool:
+        return self.device_type in (DeviceType.TYPE2, DeviceType.TYPE3)
+
+
+class Type1Device(CxlDevice):
+    """CXL.io + CXL.cache accelerator (no device memory)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: DeviceProfile,
+        llc: SharedLLC,
+        name: str = "type1",
+    ) -> None:
+        super().__init__(sim, profile, DeviceType.TYPE1, name)
+        self.hmc = HostMemoryCache(sim, profile, name=f"{name}.hmc")
+        self.dcoh = Dcoh(sim, profile, self.hmc, self.flexbus, llc, name=f"{name}.dcoh")
+
+
+class Type2Device(CxlDevice):
+    """Full accelerator: CXL.io + CXL.cache + CXL.mem."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: DeviceProfile,
+        host: HostParams,
+        llc: SharedLLC,
+        memif: MemoryInterface,
+        hdm: AddressRange,
+        name: str = "type2",
+        hdm_controller: Optional[MemoryController] = None,
+    ) -> None:
+        super().__init__(sim, profile, DeviceType.TYPE2, name)
+        self.hmc = HostMemoryCache(sim, profile, name=f"{name}.hmc")
+        self.dcoh = Dcoh(sim, profile, self.hmc, self.flexbus, llc, name=f"{name}.dcoh")
+        self.hdm = hdm
+        self.hdm_controller = hdm_controller or MemoryController(host.dram, channels=1)
+        memif.attach(name, hdm, self.hdm_controller)
+        self.mem_path = CxlMemPath(
+            sim, host, profile, self.flexbus, hdm, self.hdm_controller,
+            name=f"{name}.cxl.mem",
+        )
+
+
+class Type3Device(CxlDevice):
+    """Memory expander: CXL.io + CXL.mem only (no HMC/DCOH)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: DeviceProfile,
+        host: HostParams,
+        memif: MemoryInterface,
+        hdm: AddressRange,
+        name: str = "expander",
+        hdm_controller: Optional[MemoryController] = None,
+    ) -> None:
+        super().__init__(sim, profile, DeviceType.TYPE3, name)
+        self.hdm = hdm
+        self.hdm_controller = hdm_controller or MemoryController(host.dram, channels=1)
+        memif.attach(name, hdm, self.hdm_controller)
+        self.mem_path = CxlMemPath(
+            sim, host, profile, self.flexbus, hdm, self.hdm_controller,
+            name=f"{name}.cxl.mem",
+        )

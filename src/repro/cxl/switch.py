@@ -1,0 +1,123 @@
+"""CXL switch and fabric models (the §VIII extension toward CXL 3.x).
+
+A :class:`CxlSwitch` connects child nodes (hosts/devices) through
+upstream/downstream ports, adding a per-hop traversal cost.  A
+:class:`SwitchFabric` composes switches into a tree and answers routing
+queries (hop count, latency) between any two endpoints — the substrate
+for multi-node supernodes and for the hierarchical coherence protocol
+in :mod:`repro.cache.hierarchy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.kernel.fabric import FabricManager
+
+
+class RoutingError(LookupError):
+    pass
+
+
+@dataclass
+class SwitchPort:
+    name: str
+    endpoint: Optional[str] = None     # leaf attached here (None = inter-switch)
+    peer_switch: Optional[str] = None
+
+
+class CxlSwitch:
+    """One switch: ports plus a traversal latency."""
+
+    def __init__(self, name: str, traversal_ps: int = 70_000, ports: int = 8) -> None:
+        if ports < 2:
+            raise ValueError("a switch needs at least two ports")
+        self.name = name
+        self.traversal_ps = traversal_ps
+        self.max_ports = ports
+        self.ports: List[SwitchPort] = []
+        self.fabric_manager = FabricManager(name=f"{name}.fm")
+        self.packets_routed = 0
+
+    def attach_endpoint(self, endpoint: str) -> SwitchPort:
+        port = self._new_port()
+        port.endpoint = endpoint
+        return port
+
+    def attach_switch(self, other: "CxlSwitch") -> None:
+        mine = self._new_port()
+        theirs = other._new_port()
+        mine.peer_switch = other.name
+        theirs.peer_switch = self.name
+
+    def _new_port(self) -> SwitchPort:
+        if len(self.ports) >= self.max_ports:
+            raise RoutingError(f"{self.name}: out of ports")
+        port = SwitchPort(f"{self.name}.p{len(self.ports)}")
+        self.ports.append(port)
+        return port
+
+    @property
+    def endpoints(self) -> List[str]:
+        return [p.endpoint for p in self.ports if p.endpoint is not None]
+
+    @property
+    def neighbors(self) -> List[str]:
+        return [p.peer_switch for p in self.ports if p.peer_switch is not None]
+
+
+class SwitchFabric:
+    """A tree/mesh of CXL switches with shortest-path routing."""
+
+    def __init__(self) -> None:
+        self._switches: Dict[str, CxlSwitch] = {}
+
+    def add_switch(self, switch: CxlSwitch) -> CxlSwitch:
+        if switch.name in self._switches:
+            raise ValueError(f"switch {switch.name!r} already in fabric")
+        self._switches[switch.name] = switch
+        return switch
+
+    def switch(self, name: str) -> CxlSwitch:
+        return self._switches[name]
+
+    def _home_of(self, endpoint: str) -> str:
+        for name, switch in self._switches.items():
+            if endpoint in switch.endpoints:
+                return name
+        raise RoutingError(f"endpoint {endpoint!r} not attached to any switch")
+
+    def route(self, src: str, dst: str) -> List[str]:
+        """Switch names traversed from ``src`` to ``dst`` (BFS)."""
+        start = self._home_of(src)
+        goal = self._home_of(dst)
+        if start == goal:
+            return [start]
+        frontier = [(start, [start])]
+        seen = {start}
+        while frontier:
+            current, path = frontier.pop(0)
+            for neighbor in self._switches[current].neighbors:
+                if neighbor in seen:
+                    continue
+                next_path = path + [neighbor]
+                if neighbor == goal:
+                    return next_path
+                seen.add(neighbor)
+                frontier.append((neighbor, next_path))
+        raise RoutingError(f"no path between {src!r} and {dst!r}")
+
+    def latency_ps(self, src: str, dst: str) -> int:
+        """One-way fabric latency: sum of switch traversals on the path."""
+        path = self.route(src, dst)
+        for name in path:
+            self._switches[name].packets_routed += 1
+        return sum(self._switches[name].traversal_ps for name in path)
+
+    def hop_count(self, src: str, dst: str) -> int:
+        return len(self.route(src, dst))
+
+    @property
+    def switches(self) -> List[str]:
+        return sorted(self._switches)

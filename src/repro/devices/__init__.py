@@ -1,0 +1,16 @@
+"""Device models: LSU microbenchmark unit, DMA engines, XPU, PMU."""
+
+from repro.devices.pmu import Pmu
+from repro.devices.lsu import LoadStoreUnit, LsuReport
+from repro.devices.dma import DmaEngine, DmaReport
+from repro.devices.xpu import Xpu, ProcessingElement
+
+__all__ = [
+    "Pmu",
+    "LoadStoreUnit",
+    "LsuReport",
+    "DmaEngine",
+    "DmaReport",
+    "Xpu",
+    "ProcessingElement",
+]

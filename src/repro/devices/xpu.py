@@ -1,0 +1,108 @@
+"""Generic XPU: processing elements over the CXL device substrate.
+
+An XPU is a pool of processing elements (PEs), each of which executes
+work items that read/write host memory through the DCOH (CXL.cache) or
+device memory (CXL.mem).  The NIC models specialize this for RAO and
+RPC; the runtime uses it as the compute side of a command queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional
+from collections import deque
+
+from repro.config.system import DeviceProfile
+from repro.cxl.dcoh import Dcoh
+from repro.sim.component import Component
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class WorkItem:
+    """One unit of XPU work: a callable plus a fixed compute cost."""
+
+    run: Callable[[], None]
+    compute_ps: int = 0
+
+
+class ProcessingElement(Component):
+    """One PE: executes work items serially."""
+
+    def __init__(self, sim: Simulator, profile: DeviceProfile, name: str) -> None:
+        super().__init__(sim, name)
+        self.profile = profile
+        self._queue: Deque[WorkItem] = deque()
+        self._busy = False
+        self.completed = 0
+        self.busy_ps = 0
+
+    def submit(self, item: WorkItem) -> None:
+        self._queue.append(item)
+        if not self._busy:
+            self._run_next()
+
+    def _run_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        item = self._queue.popleft()
+        start = self.sim.now
+
+        def done() -> None:
+            item.run()
+            self.completed += 1
+            self.busy_ps += self.sim.now - start
+            self._run_next()
+
+        self.schedule(item.compute_ps, done)
+
+    @property
+    def idle(self) -> bool:
+        return not self._busy and not self._queue
+
+    @property
+    def backlog(self) -> int:
+        return len(self._queue)
+
+
+class Xpu(Component):
+    """A pool of PEs with round-robin dispatch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: DeviceProfile,
+        pe_count: int = 4,
+        dcoh: Optional[Dcoh] = None,
+        name: str = "xpu",
+    ) -> None:
+        super().__init__(sim, name)
+        if pe_count <= 0:
+            raise ValueError("need at least one PE")
+        self.profile = profile
+        self.dcoh = dcoh
+        self.pes: List[ProcessingElement] = [
+            ProcessingElement(sim, profile, f"{name}.pe{i}") for i in range(pe_count)
+        ]
+        self._rr = 0
+
+    def submit(self, item: WorkItem) -> ProcessingElement:
+        """Dispatch to the least-loaded PE (ties broken round-robin)."""
+        pe = min(self.pes, key=lambda p: (p.backlog + (0 if p.idle else 1), self._order(p)))
+        self._rr += 1
+        pe.submit(item)
+        return pe
+
+    def _order(self, pe: ProcessingElement) -> int:
+        index = self.pes.index(pe)
+        return (index - self._rr) % len(self.pes)
+
+    @property
+    def completed(self) -> int:
+        return sum(pe.completed for pe in self.pes)
+
+    @property
+    def idle(self) -> bool:
+        return all(pe.idle for pe in self.pes)

@@ -1,0 +1,41 @@
+"""Experiment harness: one entry point per paper table/figure."""
+
+from repro.harness.tables import render_series, render_table
+from repro.harness.comparison import SIMULATOR_COMPARISON, render_table2
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    fig4_programming_models,
+    run_experiment,
+    fig12_numa_latency,
+    fig13_load_latency,
+    fig14_dma_latency,
+    fig15_load_bandwidth,
+    fig16_dma_bandwidth,
+    fig17_rao_speedup,
+    fig18a_deserialization,
+    fig18b_serialization,
+    headline_metrics,
+    simulation_error,
+    table1_configurations,
+)
+
+__all__ = [
+    "render_series",
+    "render_table",
+    "SIMULATOR_COMPARISON",
+    "render_table2",
+    "EXPERIMENTS",
+    "fig4_programming_models",
+    "run_experiment",
+    "fig12_numa_latency",
+    "fig13_load_latency",
+    "fig14_dma_latency",
+    "fig15_load_bandwidth",
+    "fig16_dma_bandwidth",
+    "fig17_rao_speedup",
+    "fig18a_deserialization",
+    "fig18b_serialization",
+    "headline_metrics",
+    "simulation_error",
+    "table1_configurations",
+]

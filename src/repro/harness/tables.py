@@ -1,0 +1,54 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width ASCII table."""
+    columns = [[str(h)] for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for col, cell in zip(columns, row):
+            col.append(str(cell))
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            " | ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    series: Mapping[str, Mapping[object, float]],
+    title: Optional[str] = None,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render one or more named series sharing an x-axis (figure data)."""
+    xs: List[object] = []
+    for values in series.values():
+        for x in values:
+            if x not in xs:
+                xs.append(x)
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row: List[object] = [x]
+        for name in series:
+            value = series[name].get(x)
+            row.append(fmt.format(value) if value is not None else "-")
+        rows.append(row)
+    return render_table(headers, rows, title=title)

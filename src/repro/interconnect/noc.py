@@ -1,0 +1,88 @@
+"""NoC/UPI topology for the dual-socket SNC-4 host (Fig. 12 substrate).
+
+Each socket holds four CPU chiplets; SNC-4 exposes each chiplet as one
+NUMA node (nodes 0-3 on socket 0, nodes 4-7 on socket 1).  The CXL
+device hangs off a root port adjacent to node 7.  A memory access from
+the device to node ``n`` pays a routing distance that grows with mesh
+hops and, for the remote socket, a UPI crossing.
+
+Distances are calibrated per node against the measured medians; the
+mesh/UPI decomposition is available for building other topologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.config.presets import NUMA_EXTRA_PS
+
+
+@dataclass(frozen=True)
+class NodeCoord:
+    """Position of a NUMA node: socket and 2x2 mesh coordinates."""
+
+    socket: int
+    x: int
+    y: int
+
+
+DEFAULT_COORDS: Dict[int, NodeCoord] = {
+    0: NodeCoord(0, 0, 0),
+    1: NodeCoord(0, 0, 1),
+    2: NodeCoord(0, 1, 0),
+    3: NodeCoord(0, 1, 1),
+    4: NodeCoord(1, 0, 0),
+    5: NodeCoord(1, 0, 1),
+    6: NodeCoord(1, 1, 0),
+    7: NodeCoord(1, 1, 1),
+}
+
+
+class NocTopology:
+    """Distance oracle for device -> NUMA-node memory accesses."""
+
+    def __init__(
+        self,
+        device_node: int = 7,
+        extra_ps: Optional[Mapping[int, int]] = None,
+        coords: Optional[Mapping[int, NodeCoord]] = None,
+        hop_x_ps: int = 20_000,
+        hop_y_ps: int = 5_000,
+        upi_ps: int = 48_000,
+    ) -> None:
+        self.device_node = device_node
+        self.coords = dict(coords or DEFAULT_COORDS)
+        if device_node not in self.coords:
+            raise ValueError(f"device node {device_node} missing from coords")
+        self.hop_x_ps = hop_x_ps
+        self.hop_y_ps = hop_y_ps
+        self.upi_ps = upi_ps
+        self._extra_ps = dict(extra_ps) if extra_ps is not None else dict(NUMA_EXTRA_PS)
+
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.coords))
+
+    def mesh_distance_ps(self, node: int) -> int:
+        """Analytic mesh+UPI distance (used when no calibration exists)."""
+        src = self.coords[self.device_node]
+        dst = self.coords[node]
+        dx = abs(src.x - dst.x)
+        dy = abs(src.y - dst.y)
+        distance = dx * self.hop_x_ps + dy * self.hop_y_ps
+        if src.socket != dst.socket:
+            distance += self.upi_ps
+        return distance
+
+    def extra_ps(self, node: int) -> int:
+        """Calibrated round-trip distance added to a mem-hit access."""
+        if node in self._extra_ps:
+            return self._extra_ps[node]
+        return self.mesh_distance_ps(node)
+
+    def nearest_node(self) -> int:
+        return min(self.nodes, key=self.extra_ps)
+
+    def farthest_node(self) -> int:
+        return max(self.nodes, key=self.extra_ps)

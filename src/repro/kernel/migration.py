@@ -1,0 +1,105 @@
+"""Adaptive page migration (the optimization §III-C.2 leaves open).
+
+Tracks per-page access counts by accessor NUMA node and migrates a page
+to the node that dominates its traffic once (a) enough samples have
+accumulated and (b) the remote share crosses a threshold.  Migration
+runs through HMM's full ATS handshake (block device -> remap -> IOMMU
+invalidate -> resume), so every cost of moving a page is the real one.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.kernel.hmm import Hmm, MigrationError
+from repro.kernel.numa import OutOfMemory
+from repro.kernel.page_table import PAGE_SIZE, vpn_of
+
+
+@dataclass
+class MigrationDecision:
+    vpn: int
+    from_node: int
+    to_node: int
+    samples: int
+    remote_share: float
+
+
+class AdaptiveMigrator:
+    """Hot-page tracking + threshold migration policy."""
+
+    def __init__(
+        self,
+        hmm: Hmm,
+        min_samples: int = 16,
+        remote_share_threshold: float = 0.75,
+        cooldown_samples: int = 32,
+    ) -> None:
+        if not 0.5 < remote_share_threshold <= 1.0:
+            raise ValueError("remote share threshold must be in (0.5, 1.0]")
+        self.hmm = hmm
+        self.min_samples = min_samples
+        self.remote_share_threshold = remote_share_threshold
+        self.cooldown_samples = cooldown_samples
+        self._counts: Dict[int, Counter] = defaultdict(Counter)
+        self._cooldown: Dict[int, int] = {}
+        self.decisions: List[MigrationDecision] = []
+        self.migrations_performed = 0
+        self.migrations_denied = 0
+
+    # ------------------------------------------------------------------
+    # Observation (call on every access; cheap)
+    # ------------------------------------------------------------------
+    def record_access(self, vaddr: int, accessor_node: int) -> Optional[MigrationDecision]:
+        """Record one access; may trigger a migration synchronously."""
+        vpn = vpn_of(vaddr)
+        counts = self._counts[vpn]
+        counts[accessor_node] += 1
+        remaining_cooldown = self._cooldown.get(vpn, 0)
+        if remaining_cooldown:
+            self._cooldown[vpn] = remaining_cooldown - 1
+            return None
+        total = sum(counts.values())
+        if total < self.min_samples:
+            return None
+        return self._maybe_migrate(vaddr, vpn, counts, total)
+
+    def _maybe_migrate(
+        self, vaddr: int, vpn: int, counts: Counter, total: int
+    ) -> Optional[MigrationDecision]:
+        entry = self.hmm.page_table.lookup(vaddr)
+        if entry is None or not entry.present:
+            return None
+        home = entry.node
+        hottest_node, hottest_count = counts.most_common(1)[0]
+        if hottest_node == home:
+            return None
+        share = hottest_count / total
+        if share < self.remote_share_threshold:
+            return None
+        decision = MigrationDecision(vpn, home, hottest_node, total, share)
+        try:
+            self.hmm.migrate_page(vaddr, hottest_node)
+        except (MigrationError, OutOfMemory):
+            self.migrations_denied += 1
+            return None
+        self.migrations_performed += 1
+        self.decisions.append(decision)
+        # Restart the window so ping-pong requires sustained evidence.
+        self._counts[vpn] = Counter()
+        self._cooldown[vpn] = self.cooldown_samples
+        return decision
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def access_profile(self, vaddr: int) -> Dict[int, int]:
+        return dict(self._counts[vpn_of(vaddr)])
+
+    def hot_pages(self, top: int = 10) -> List[Tuple[int, int]]:
+        """``(vpn, total_accesses)`` of the most-touched pages."""
+        totals = [(vpn, sum(c.values())) for vpn, c in self._counts.items()]
+        totals.sort(key=lambda item: item[1], reverse=True)
+        return totals[:top]

@@ -1,0 +1,149 @@
+"""The per-process unified page table shared by CPUs and XPUs.
+
+Cohet's central OS structure (§III-C): one page table serves every
+compute unit.  Entries may exist without a physical frame (allocated by
+``malloc`` before first touch), which is what enables overcommit; the
+fault path assigns frames on first access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+PAGE_SIZE = 4096
+
+
+def vpn_of(vaddr: int) -> int:
+    return vaddr // PAGE_SIZE
+
+
+def page_offset(vaddr: int) -> int:
+    return vaddr % PAGE_SIZE
+
+
+@dataclass
+class PageTableEntry:
+    """One PTE.  ``pfn is None`` means allocated-but-untouched."""
+
+    vpn: int
+    pfn: Optional[int] = None
+    node: Optional[int] = None
+    writable: bool = True
+    dirty: bool = False
+    accessed: bool = False
+    blocked: bool = False   # device access blocked during migration
+
+    @property
+    def present(self) -> bool:
+        return self.pfn is not None
+
+    def physical(self, vaddr: int) -> int:
+        if self.pfn is None:
+            raise PageFault(vaddr)
+        return self.pfn * PAGE_SIZE + page_offset(vaddr)
+
+
+class PageFault(Exception):
+    """Raised on access to a page without a frame; HMM services it."""
+
+    def __init__(self, vaddr: int) -> None:
+        super().__init__(f"page fault at {vaddr:#x}")
+        self.vaddr = vaddr
+
+
+class UnifiedPageTable:
+    """Single page table for one process, shared by CPU and XPU threads."""
+
+    def __init__(self, pid: int = 0) -> None:
+        self.pid = pid
+        self._entries: Dict[int, PageTableEntry] = {}
+        self.generation = 0
+        self._invalidation_listeners: List[Callable[[int], None]] = []
+        self.faults = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def on_invalidate(self, listener: Callable[[int], None]) -> None:
+        """Register a VPN-invalidation listener (device ATCs via IOMMU)."""
+        self._invalidation_listeners.append(listener)
+
+    def map(self, vaddr: int, writable: bool = True) -> PageTableEntry:
+        """Create a frame-less entry (malloc semantics)."""
+        vpn = vpn_of(vaddr)
+        if vpn in self._entries:
+            raise ValueError(f"page {vpn:#x} already mapped")
+        entry = PageTableEntry(vpn=vpn, writable=writable)
+        self._entries[vpn] = entry
+        return entry
+
+    def entry(self, vaddr: int) -> PageTableEntry:
+        vpn = vpn_of(vaddr)
+        try:
+            return self._entries[vpn]
+        except KeyError:
+            raise PageFault(vaddr) from None
+
+    def lookup(self, vaddr: int) -> Optional[PageTableEntry]:
+        return self._entries.get(vpn_of(vaddr))
+
+    def translate(self, vaddr: int, write: bool = False) -> int:
+        """Resolve a virtual address; raises :class:`PageFault` when the
+        page is absent, frame-less, or blocked for migration."""
+        entry = self.entry(vaddr)
+        if entry.blocked or not entry.present:
+            self.faults += 1
+            raise PageFault(vaddr)
+        if write and not entry.writable:
+            raise PermissionError(f"write to read-only page {vaddr:#x}")
+        entry.accessed = True
+        if write:
+            entry.dirty = True
+        return entry.physical(vaddr)
+
+    def assign_frame(self, vaddr: int, pfn: int, node: int) -> PageTableEntry:
+        entry = self.entry(vaddr)
+        if entry.present:
+            raise ValueError(f"page {entry.vpn:#x} already has frame {entry.pfn}")
+        entry.pfn = pfn
+        entry.node = node
+        return entry
+
+    def remap(self, vaddr: int, pfn: int, node: int) -> PageTableEntry:
+        """Point the PTE at a new frame (page migration) and bump the
+        generation so stale cached translations are detectable."""
+        entry = self.entry(vaddr)
+        entry.pfn = pfn
+        entry.node = node
+        self.generation += 1
+        self._notify(entry.vpn)
+        return entry
+
+    def unmap(self, vaddr: int) -> PageTableEntry:
+        vpn = vpn_of(vaddr)
+        entry = self._entries.pop(vpn, None)
+        if entry is None:
+            raise PageFault(vaddr)
+        self.generation += 1
+        self._notify(vpn)
+        return entry
+
+    def block(self, vaddr: int) -> None:
+        self.entry(vaddr).blocked = True
+
+    def unblock(self, vaddr: int) -> None:
+        self.entry(vaddr).blocked = False
+
+    def _notify(self, vpn: int) -> None:
+        for listener in self._invalidation_listeners:
+            listener(vpn)
+
+    def entries(self) -> Iterator[PageTableEntry]:
+        return iter(self._entries.values())
+
+    def resident_bytes(self) -> int:
+        return sum(PAGE_SIZE for e in self._entries.values() if e.present)
+
+    def mapped_bytes(self) -> int:
+        return len(self._entries) * PAGE_SIZE

@@ -1,0 +1,21 @@
+"""Memory substrate: address ranges, DDR5 timing, controllers, routing."""
+
+from repro.mem.address import AddressRange, Interleaver, line_base, line_offset
+from repro.mem.dram import DramBankModel, DramAccess
+from repro.mem.controller import MemoryController
+from repro.mem.interface import MemoryInterface
+from repro.mem.technologies import TECHNOLOGIES, NvmBankModel, make_controller
+
+__all__ = [
+    "AddressRange",
+    "Interleaver",
+    "line_base",
+    "line_offset",
+    "DramBankModel",
+    "DramAccess",
+    "MemoryController",
+    "MemoryInterface",
+    "TECHNOLOGIES",
+    "NvmBankModel",
+    "make_controller",
+]

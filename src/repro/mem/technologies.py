@@ -1,0 +1,115 @@
+"""Device-memory technologies: DDR5, NVM, and HBM timing presets.
+
+§IV-B.3: "The device memory can directly leverage various existing
+memory models in gem5, including DDR3/4/5, non-volatile memory (NVM),
+and high bandwidth memory (HBM)."  This module provides the equivalent
+parameter sets for SimCXL's bank model, plus an asymmetric-write NVM
+wrapper, so type-2/3 devices can be instantiated over any of them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config.system import DramParams
+from repro.mem.controller import MemoryController
+from repro.mem.dram import DramAccess, DramBankModel
+
+# DDR5-4400: the default host/device technology (calibrated).
+DDR5_4400 = DramParams()
+
+# DDR4-3200: higher CAS in ns terms, slower burst.
+DDR4_3200 = DramParams(
+    trcd_ps=14_060,
+    tcl_ps=14_060,
+    trp_ps=14_060,
+    burst_ps=2_500,     # 64B over a single 64-bit channel at 3200 MT/s
+    trfc_ps=350_000,
+    trefi_ps=7_800_000,
+    banks=16,
+    row_bytes=8_192,
+)
+
+# HBM2e-style stack: slightly higher access latency, massive parallelism
+# (many pseudo-channels -> tiny per-line occupancy).
+HBM2E = DramParams(
+    trcd_ps=17_000,
+    tcl_ps=17_000,
+    trp_ps=17_000,
+    burst_ps=400,       # 64B across a wide interface
+    trfc_ps=160_000,
+    trefi_ps=3_900_000,
+    banks=128,
+    row_bytes=2_048,
+)
+
+# Optane-class NVM: long reads, much longer writes (handled by
+# NvmBankModel's write multiplier).
+NVM_OPTANE = DramParams(
+    trcd_ps=120_000,
+    tcl_ps=120_000,
+    trp_ps=0,
+    burst_ps=7_200,
+    trfc_ps=0,          # no refresh
+    trefi_ps=1 << 62,
+    banks=16,
+    row_bytes=4_096,
+    jitter_ps=12_000,
+)
+
+TECHNOLOGIES: Dict[str, DramParams] = {
+    "ddr5": DDR5_4400,
+    "ddr4": DDR4_3200,
+    "hbm": HBM2E,
+    "nvm": NVM_OPTANE,
+}
+
+
+class NvmBankModel(DramBankModel):
+    """NVM: asymmetric read/write with a write-occupancy multiplier."""
+
+    def __init__(self, params: DramParams, write_multiplier: float = 3.0, seed: int = 1234):
+        super().__init__(params, seed=seed)
+        if write_multiplier < 1.0:
+            raise ValueError("write multiplier must be >= 1")
+        self.write_multiplier = write_multiplier
+        self.writes = 0
+
+    def write(self, addr: int, now_ps: int) -> DramAccess:
+        """A write: same pipeline, but the media stays busy far longer."""
+        self.writes += 1
+        result = self.access(addr, now_ps)
+        extra = round(self.params.closed_access_ps * (self.write_multiplier - 1.0))
+        bank = result.bank
+        self._bank_free_ps[bank] = max(
+            self._bank_free_ps[bank], now_ps + result.latency_ps + extra
+        )
+        return DramAccess(
+            addr=result.addr,
+            bank=bank,
+            latency_ps=result.latency_ps + extra,
+            refresh_collision=result.refresh_collision,
+        )
+
+
+def make_controller(
+    technology: str,
+    channels: int = 1,
+    ii_ps: int = 0,
+    seed: int = 1234,
+) -> MemoryController:
+    """Build a memory controller for the named technology."""
+    try:
+        params = TECHNOLOGIES[technology]
+    except KeyError:
+        raise ValueError(
+            f"unknown memory technology {technology!r}; options: {sorted(TECHNOLOGIES)}"
+        ) from None
+    return MemoryController(params, channels=channels, ii_ps=ii_ps, seed=seed)
+
+
+def nominal_read_ns(technology: str) -> float:
+    """Media-only read latency (ns), for quick technology comparisons."""
+    return TECHNOLOGIES[technology].closed_access_ps / 1_000

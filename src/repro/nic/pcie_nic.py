@@ -1,0 +1,93 @@
+"""PCIe-NIC RAO offload (Fig. 8a).
+
+Every RAO is an indivisible read-modify-write executed over PCIe DMA:
+one DMA read, the ALU op, one DMA write.  PCIe's relaxed ordering and
+split transactions cannot guarantee that a later read will not pass an
+earlier write to the same address, so the NIC conservatively waits for
+each write's acknowledgement before issuing the next RAO — the
+serialization that caps PCIe RAO throughput (§V-A.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.config.system import SystemConfig
+from repro.devices.dma import DmaEngine
+from repro.nic.base import HostValues, NicBase, RaoRunResult
+from repro.rao.circustent import RaoRequest
+from repro.rao.ops import apply_atomic
+from repro.sim.engine import Simulator
+
+
+class PcieRaoNic(NicBase):
+    """RAO offloading on a conventional PCIe NIC."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SystemConfig,
+        values: Optional[HostValues] = None,
+        name: str = "pcie-nic",
+    ) -> None:
+        super().__init__(sim, name, values)
+        self.config = config
+        self.dma = DmaEngine(sim, config.dma, name=f"{name}.dma")
+        self.reads_issued = 0
+        self.writes_issued = 0
+
+    def run(self, requests: List[RaoRequest]) -> RaoRunResult:
+        """Process the request stream to completion."""
+        proc_ps = self.config.rao.request_proc_ps
+        modify_ps = self.config.rao.modify_ps
+        start_ps = self.sim.now
+        pending = list(requests)
+        index = 0
+
+        def next_request() -> None:
+            nonlocal index
+            if index >= len(pending):
+                return
+            request = pending[index]
+            index += 1
+            # RX parse + queue occupies the request pipeline.
+            self.schedule(proc_ps // 2, do_reads, request, list(request.reads))
+
+        def do_reads(request: RaoRequest, reads: List[int]) -> None:
+            if reads:
+                addr = reads.pop(0)
+                self.reads_issued += 1
+                # Index-array loads are themselves DMA round trips.
+                self.dma.transfer(64, lambda: do_reads(request, reads))
+                return
+            self.schedule(0, rmw_read, request)
+
+        def rmw_read(request: RaoRequest) -> None:
+            self.reads_issued += 1
+            self.dma.transfer(64, lambda: modify(request))
+
+        def modify(request: RaoRequest) -> None:
+            current = self.values.read(request.target)
+            new, _old = apply_atomic(request.op, current, request.operand)
+            self.values.write(request.target, new)
+            self.schedule(modify_ps, rmw_write, request)
+
+        def rmw_write(request: RaoRequest) -> None:
+            self.writes_issued += 1
+            # The RAW hazard rule: wait for this write's ack before the
+            # next RAO may begin.
+            self.dma.transfer(64, lambda: respond(request))
+
+        def respond(request: RaoRequest) -> None:
+            self.send_response(request)
+            self.schedule(proc_ps - proc_ps // 2, next_request)
+
+        next_request()
+        self.sim.run()
+        return RaoRunResult(
+            ops=len(pending),
+            elapsed_ps=self.sim.now - start_ps,
+            reads_issued=self.reads_issued,
+            writes_issued=self.writes_issued,
+        )

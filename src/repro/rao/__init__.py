@@ -1,0 +1,20 @@
+"""Remote atomic operations: semantics, CircusTent workloads, harness."""
+
+from repro.rao.ops import AtomicOp, apply_atomic
+from repro.rao.circustent import (
+    CIRCUSTENT_PATTERNS,
+    CircusTentWorkload,
+    RaoRequest,
+    make_workload,
+)
+
+# repro.rao.harness is imported explicitly by callers: it depends on the
+# NIC models, which in turn consume the workload types above.
+__all__ = [
+    "AtomicOp",
+    "apply_atomic",
+    "CIRCUSTENT_PATTERNS",
+    "CircusTentWorkload",
+    "RaoRequest",
+    "make_workload",
+]

@@ -1,0 +1,153 @@
+"""CircusTent atomic-memory-operation access patterns (§VI-D).
+
+Six patterns over a shared table ``A`` of 8-byte elements (plus index
+arrays ``B``/``C`` for the scatter/gather family):
+
+* RAND    — AMO at a uniformly random element of A.
+* STRIDE1 — AMO at consecutive elements of A.
+* CENTRAL — every AMO targets element A[0] (distributed lock service).
+* GATHER  — read index ``B[i]`` (sequential), AMO at ``A[B[i]]``.
+* SCATTER — read ``B[i]``, AMO (write-style) at ``A[B[i]]``.
+* SG      — read ``B[i]`` and ``C[i]``, read ``A[B[i]]``, AMO at ``A[C[i]]``.
+
+Each request lists the plain reads that precede the atomic, so both NIC
+designs pay for index-array traffic the way the hardware would.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.rao.ops import AtomicOp
+
+ELEMENT = 8  # CircusTent operates on u64 elements
+
+
+@dataclass
+class RaoRequest:
+    """One remote atomic operation as it arrives at the NIC."""
+
+    op: AtomicOp
+    target: int                      # host address of the atomic
+    operand: int = 1
+    reads: List[int] = field(default_factory=list)   # index-array loads
+    source_node: int = 1
+
+
+@dataclass
+class CircusTentWorkload:
+    """A named pattern instantiated into a request stream."""
+
+    name: str
+    requests: List[RaoRequest]
+    table_bytes: int
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+CIRCUSTENT_PATTERNS = ("RAND", "STRIDE1", "CENTRAL", "SG", "SCATTER", "GATHER")
+
+# Additional CircusTent patterns beyond the six the paper plots; useful
+# for sensitivity studies (STRIDEN with a configurable stride, and the
+# pathological pointer-chasing PTRCHASE).
+EXTRA_PATTERNS = ("STRIDEN", "PTRCHASE")
+
+_TABLE_BASE = 0x4000_0000
+_B_BASE = 0x6000_0000
+_C_BASE = 0x6800_0000
+
+
+def make_workload(
+    pattern: str,
+    ops: int = 4096,
+    table_bytes: int = 1 << 30,
+    seed: int = 7,
+    stride_elements: int = 16,
+) -> CircusTentWorkload:
+    """Build ``ops`` requests of the named pattern.
+
+    The table deliberately dwarfs the 128 KB HMC (and mostly misses the
+    LLC) so cacheability differences between patterns — not table
+    sizing — drive the results, as in the benchmark's configuration.
+    """
+    if pattern not in CIRCUSTENT_PATTERNS + EXTRA_PATTERNS:
+        raise ValueError(
+            f"unknown pattern {pattern!r}; options: "
+            f"{CIRCUSTENT_PATTERNS + EXTRA_PATTERNS}"
+        )
+    rng = random.Random(seed)
+    elements = table_bytes // ELEMENT
+    requests: List[RaoRequest] = []
+
+    def element_addr(index: int) -> int:
+        return _TABLE_BASE + (index % elements) * ELEMENT
+
+    if pattern == "RAND":
+        for _ in range(ops):
+            requests.append(
+                RaoRequest(AtomicOp.FAA, element_addr(rng.randrange(elements)))
+            )
+    elif pattern == "STRIDE1":
+        for i in range(ops):
+            requests.append(RaoRequest(AtomicOp.FAA, element_addr(i)))
+    elif pattern == "CENTRAL":
+        for _ in range(ops):
+            requests.append(RaoRequest(AtomicOp.FAA, element_addr(0)))
+    elif pattern == "GATHER":
+        for i in range(ops):
+            idx = rng.randrange(elements)
+            requests.append(
+                RaoRequest(
+                    AtomicOp.FAA,
+                    element_addr(idx),
+                    reads=[_B_BASE + i * ELEMENT],
+                )
+            )
+    elif pattern == "SCATTER":
+        for i in range(ops):
+            idx = rng.randrange(elements)
+            requests.append(
+                RaoRequest(
+                    AtomicOp.SWAP,
+                    element_addr(idx),
+                    reads=[_B_BASE + i * ELEMENT],
+                )
+            )
+    elif pattern == "SG":
+        for i in range(ops):
+            src = rng.randrange(elements)
+            dst = rng.randrange(elements)
+            requests.append(
+                RaoRequest(
+                    AtomicOp.SWAP,
+                    element_addr(dst),
+                    reads=[
+                        _B_BASE + i * ELEMENT,
+                        _C_BASE + i * ELEMENT,
+                        element_addr(src),
+                    ],
+                )
+            )
+    elif pattern == "STRIDEN":
+        if stride_elements <= 0:
+            raise ValueError("stride must be positive")
+        for i in range(ops):
+            requests.append(RaoRequest(AtomicOp.FAA, element_addr(i * stride_elements)))
+    elif pattern == "PTRCHASE":
+        # A random permutation walk: each AMO target is derived from the
+        # previous element's value — fully serial, zero spatial locality.
+        index = rng.randrange(elements)
+        for _ in range(ops):
+            next_index = (index * 1_103_515_245 + 12_345) % elements
+            requests.append(
+                RaoRequest(
+                    AtomicOp.SWAP,
+                    element_addr(next_index),
+                    reads=[element_addr(index)],
+                )
+            )
+            index = next_index
+    return CircusTentWorkload(pattern, requests, table_bytes)

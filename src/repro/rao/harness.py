@@ -1,0 +1,70 @@
+"""RAO evaluation harness: CXL-NIC vs. PCIe-NIC over CircusTent (Fig. 17)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.cache.llc import SharedLLC
+from repro.config.system import SystemConfig
+from repro.mem.address import AddressRange
+from repro.mem.controller import MemoryController
+from repro.mem.interface import MemoryInterface
+from repro.nic.base import HostValues
+from repro.nic.cxl_nic import CxlRaoNic
+from repro.nic.pcie_nic import PcieRaoNic
+from repro.rao.circustent import CIRCUSTENT_PATTERNS, make_workload
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class RaoComparison:
+    """Per-pattern throughput for the two NIC designs."""
+
+    pattern: str
+    pcie_mops: float
+    cxl_mops: float
+    cxl_hit_rate: float
+
+    @property
+    def speedup(self) -> float:
+        return self.cxl_mops / self.pcie_mops
+
+
+def _build_cxl_nic(config: SystemConfig, pe_count: Optional[int]) -> CxlRaoNic:
+    sim = Simulator()
+    memif = MemoryInterface(config.host.memif_oneway_ps)
+    controller = MemoryController(config.host.dram, channels=config.host.mem_channels)
+    memif.attach("host", AddressRange(0, 1 << 40, "host"), controller)
+    llc = SharedLLC(sim, config.host, memif)
+    return CxlRaoNic(sim, config, llc, HostValues(), pe_count=pe_count)
+
+
+def run_rao_comparison(
+    config: SystemConfig,
+    patterns: Sequence[str] = CIRCUSTENT_PATTERNS,
+    ops: int = 2048,
+    table_bytes: int = 1 << 30,
+    seed: int = 7,
+    pe_count: Optional[int] = None,
+) -> Dict[str, RaoComparison]:
+    """Run every pattern on both NICs; returns comparisons keyed by name."""
+    results: Dict[str, RaoComparison] = {}
+    for pattern in patterns:
+        workload = make_workload(pattern, ops=ops, table_bytes=table_bytes, seed=seed)
+
+        pcie = PcieRaoNic(Simulator(), config, HostValues())
+        pcie_run = pcie.run(workload.requests)
+
+        cxl = _build_cxl_nic(config, pe_count)
+        cxl.warm()
+        cxl_run = cxl.run(workload.requests)
+
+        accesses = cxl.hmc_hits + cxl.hmc_misses
+        results[pattern] = RaoComparison(
+            pattern=pattern,
+            pcie_mops=pcie_run.throughput_mops,
+            cxl_mops=cxl_run.throughput_mops,
+            cxl_hit_rate=cxl.hmc_hits / accesses if accesses else 0.0,
+        )
+    return results

@@ -1,0 +1,50 @@
+"""Atomic operation semantics.
+
+The NIC PEs execute these as the "modify" stage of read-modify-write.
+All arithmetic is on unsigned 64-bit values (wrapping), matching the
+RDMA verbs/CircusTent operand width.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+MASK64 = (1 << 64) - 1
+
+
+class AtomicOp(enum.Enum):
+    FAA = "fetch-and-add"
+    CAS = "compare-and-swap"
+    SWAP = "swap"
+    FETCH_AND_OR = "fetch-and-or"
+    FETCH_AND_AND = "fetch-and-and"
+    FETCH_AND_XOR = "fetch-and-xor"
+
+
+def apply_atomic(
+    op: AtomicOp,
+    current: int,
+    operand: int,
+    compare: Optional[int] = None,
+) -> Tuple[int, int]:
+    """Apply ``op``; returns ``(new_value, fetched_old_value)``."""
+    current &= MASK64
+    operand &= MASK64
+    if op is AtomicOp.FAA:
+        return (current + operand) & MASK64, current
+    if op is AtomicOp.CAS:
+        if compare is None:
+            raise ValueError("CAS requires a compare value")
+        if current == (compare & MASK64):
+            return operand, current
+        return current, current
+    if op is AtomicOp.SWAP:
+        return operand, current
+    if op is AtomicOp.FETCH_AND_OR:
+        return current | operand, current
+    if op is AtomicOp.FETCH_AND_AND:
+        return current & operand, current
+    if op is AtomicOp.FETCH_AND_XOR:
+        return current ^ operand, current
+    raise ValueError(f"unknown atomic op {op}")

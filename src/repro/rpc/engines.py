@@ -1,0 +1,184 @@
+"""Hardware (de)serializer engines: field-by-field wire walking.
+
+The pipeline models in :mod:`repro.rpc.rpcnic`/:mod:`repro.rpc.cxl_rpc`
+account aggregate per-message costs; these engines expose the
+*per-field event stream* underneath — which field was decoded at what
+offset, in what order, and for the CXL-NIC which cacheline each NC-P
+push targets.  They walk real wire bytes against the schema table the
+way the hardware does (Fig. 10's deserializer / Fig. 11's DCOH).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.config.system import RpcParams
+from repro.mem.address import CACHELINE, line_base
+from repro.rpc.message import _decode_scalar
+from repro.rpc.schema import FieldDescriptor, FieldKind, MessageSchema, SchemaTable
+from repro.rpc.wire import WireError, decode_key, decode_len_prefixed
+
+
+@dataclass
+class FieldEvent:
+    """One field decoded/encoded by the hardware engine."""
+
+    path: str              # e.g. "chain.next.u3"
+    kind: str
+    wire_offset: int
+    wire_bytes: int
+    cost_ps: int
+    depth: int
+
+
+class HwDeserializer:
+    """Field-by-field decoder producing the per-field event stream."""
+
+    def __init__(self, params: RpcParams, table: SchemaTable) -> None:
+        self.params = params
+        self.table = table
+        self.fields_decoded = 0
+        self.bytes_decoded = 0
+
+    def decode(self, type_id: int, wire: bytes) -> Tuple[Dict, List[FieldEvent]]:
+        """Decode a full message; returns (value, ordered field events)."""
+        schema = self.table.lookup(type_id)
+        events: List[FieldEvent] = []
+        value = self._decode_block(schema, wire, prefix="", depth=0, base_offset=0,
+                                   events=events)
+        return value, events
+
+    def _decode_block(
+        self,
+        schema: MessageSchema,
+        data: bytes,
+        prefix: str,
+        depth: int,
+        base_offset: int,
+        events: List[FieldEvent],
+    ) -> Dict:
+        value: Dict = {}
+        offset = 0
+        while offset < len(data):
+            start = offset
+            number, wire_type, offset = decode_key(data, offset)
+            descriptor = schema.field_by_number(number)
+            if descriptor.wire_type is not wire_type:
+                raise WireError(
+                    f"{prefix}{descriptor.name}: wire type mismatch"
+                )
+            path = f"{prefix}{descriptor.name}"
+            if descriptor.kind == FieldKind.MESSAGE and not descriptor.repeated:
+                raw, offset = decode_len_prefixed(data, offset)
+                inner_base = base_offset + offset - len(raw)
+                value[descriptor.name] = self._decode_block(
+                    schema=descriptor.message,
+                    data=raw,
+                    prefix=f"{path}.",
+                    depth=depth + 1,
+                    base_offset=inner_base,
+                    events=events,
+                )
+                events.append(
+                    FieldEvent(
+                        path=path,
+                        kind=descriptor.kind,
+                        wire_offset=base_offset + start,
+                        wire_bytes=offset - start,
+                        cost_ps=self.params.decode_nest_ps,
+                        depth=depth,
+                    )
+                )
+                continue
+            if descriptor.repeated:
+                raise WireError("HwDeserializer models singular-field messages")
+            element, offset = _decode_scalar(descriptor, data, offset)
+            value[descriptor.name] = element
+            size = offset - start
+            cost = self.params.decode_field_ps + self.params.decode_byte_ps * size
+            events.append(
+                FieldEvent(
+                    path=path,
+                    kind=descriptor.kind,
+                    wire_offset=base_offset + start,
+                    wire_bytes=size,
+                    cost_ps=cost,
+                    depth=depth,
+                )
+            )
+            self.fields_decoded += 1
+            self.bytes_decoded += size
+        return value
+
+    # ------------------------------------------------------------------
+    # NC-P planning (Fig. 11 step 2)
+    # ------------------------------------------------------------------
+    def ncp_plan(
+        self, events: List[FieldEvent], dest_base: int = 0x2000_0000
+    ) -> List[int]:
+        """Cachelines pushed to the host LLC, in decode order, deduped.
+
+        Decoded fields accumulate into a destination buffer; a line is
+        pushed once its last field is decoded, so the push order follows
+        the decode stream.
+        """
+        lines: List[int] = []
+        seen = set()
+        cursor = dest_base
+        for event in events:
+            for off in range(0, max(1, event.wire_bytes), CACHELINE):
+                line = line_base(cursor + off)
+                if line not in seen:
+                    seen.add(line)
+                    lines.append(line)
+            cursor += event.wire_bytes
+        return lines
+
+
+class HwSerializer:
+    """Field-by-field encoder event stream (the TX side)."""
+
+    def __init__(self, params: RpcParams, table: SchemaTable) -> None:
+        self.params = params
+        self.table = table
+        self.fields_encoded = 0
+
+    def encode(self, type_id: int, value: Dict) -> Tuple[bytes, List[FieldEvent]]:
+        from repro.rpc.message import encode_message
+
+        schema = self.table.lookup(type_id)
+        events: List[FieldEvent] = []
+        self._walk(schema, value, "", 0, events)
+        wire = encode_message(schema, value)
+        return wire, events
+
+    def _walk(
+        self,
+        schema: MessageSchema,
+        value: Dict,
+        prefix: str,
+        depth: int,
+        events: List[FieldEvent],
+    ) -> None:
+        from repro.rpc.message import encode_message, _encode_scalar
+
+        for descriptor in schema.fields:
+            if descriptor.name not in value:
+                continue
+            path = f"{prefix}{descriptor.name}"
+            item = value[descriptor.name]
+            if descriptor.kind == FieldKind.MESSAGE and not descriptor.repeated:
+                self._walk(descriptor.message, item, f"{path}.", depth + 1, events)
+                events.append(
+                    FieldEvent(path, descriptor.kind, 0,
+                               len(encode_message(descriptor.message, item)),
+                               self.params.encode_nest_ps, depth)
+                )
+                continue
+            if descriptor.repeated:
+                raise WireError("HwSerializer models singular-field messages")
+            size = len(_encode_scalar(descriptor, item))
+            cost = self.params.encode_field_ps + self.params.encode_byte_ps * size
+            events.append(FieldEvent(path, descriptor.kind, 0, size, cost, depth))
+            self.fields_encoded += 1

@@ -1,0 +1,129 @@
+"""In-memory object layout of decoded messages.
+
+The CXL.cache serialization path reads the host's in-memory C++ object
+graph field by field.  What the serializer actually touches:
+
+* a HOP per message block — a pointer chase into the block (root
+  object or a nested message's separate heap allocation);
+* DESCRIPTOR walks — strided reads over the block's field storage;
+* BODY lines — the bulk bytes of string/bytes payloads.
+
+Root objects come from a slab (consecutive messages sit at a regular
+stride — prefetchable across messages); nested blocks come from a
+fragmented heap with irregular gaps, which is why deep nesting defeats
+the stride prefetcher.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.mem.address import CACHELINE
+from repro.rpc.schema import FieldKind, MessageSchema
+
+
+class UnitKind(enum.Enum):
+    HOP = "hop"                  # serial pointer chase
+    DESCRIPTOR = "descriptor"    # strided field-storage walk
+    BODY = "body"                # bulk payload line
+
+
+@dataclass(frozen=True)
+class AccessUnit:
+    kind: UnitKind
+    addr: int
+
+
+@dataclass
+class ObjectLayout:
+    """Access-unit trace for one message instance."""
+
+    units: List[AccessUnit]
+
+    def count(self, kind: UnitKind) -> int:
+        return sum(1 for u in self.units if u.kind is kind)
+
+    def __len__(self) -> int:
+        return len(self.units)
+
+
+class SlabAllocator:
+    """Placement model: regular slab for roots, fragmented heap for
+    nested blocks."""
+
+    def __init__(self, seed: int = 3, slab_base: int = 0x9000_0000,
+                 heap_base: int = 0xB000_0000) -> None:
+        self._rng = random.Random(seed)
+        self._slab = slab_base
+        self._heap = heap_base
+
+    def alloc_root(self, size: int) -> int:
+        addr = self._slab
+        self._slab += _round_line(size)
+        return addr
+
+    def alloc_nested(self, size: int) -> int:
+        # Heap fragmentation: irregular padding between blocks.
+        self._heap += self._rng.randrange(0, 4) * CACHELINE + CACHELINE
+        addr = self._heap
+        self._heap += _round_line(size)
+        return addr
+
+
+def _round_line(size: int) -> int:
+    return -(-size // CACHELINE) * CACHELINE
+
+
+FIELDS_PER_DESCRIPTOR = 10   # one descriptor line covers ~10 field slots
+
+
+def layout_message(
+    schema: MessageSchema,
+    value: Dict,
+    allocator: SlabAllocator,
+    root: bool = True,
+) -> ObjectLayout:
+    """Walk a message instance and emit its access-unit trace."""
+    units: List[AccessUnit] = []
+    _layout_block(schema, value, allocator, root, units)
+    return ObjectLayout(units)
+
+
+def _layout_block(
+    schema: MessageSchema,
+    value: Dict,
+    allocator: SlabAllocator,
+    root: bool,
+    units: List[AccessUnit],
+) -> None:
+    scalar_fields = 0
+    body_bytes = 0
+    nested: List[tuple] = []
+    for descriptor in schema.fields:
+        if descriptor.name not in value:
+            continue
+        item = value[descriptor.name]
+        if descriptor.kind == FieldKind.MESSAGE:
+            nested.append((descriptor, item))
+        else:
+            scalar_fields += 1
+            if descriptor.kind in (FieldKind.STRING, FieldKind.BYTES):
+                body_bytes += len(item)
+
+    descriptors = -(-scalar_fields // FIELDS_PER_DESCRIPTOR) if scalar_fields else 0
+    body_lines = -(-body_bytes // CACHELINE) if body_bytes else 0
+    block_size = CACHELINE * (1 + descriptors + body_lines)
+    base = allocator.alloc_root(block_size) if root else allocator.alloc_nested(block_size)
+
+    units.append(AccessUnit(UnitKind.HOP, base))
+    for k in range(descriptors):
+        units.append(AccessUnit(UnitKind.DESCRIPTOR, base + CACHELINE * (1 + k)))
+    for k in range(body_lines):
+        units.append(
+            AccessUnit(UnitKind.BODY, base + CACHELINE * (1 + descriptors + k))
+        )
+    for descriptor, item in nested:
+        _layout_block(descriptor.message, item, allocator, False, units)

@@ -1,0 +1,210 @@
+"""Message values: encode/decode against a schema, generate test data.
+
+A message value is a dict from field name to a Python value; nested
+messages are dicts.  ``encode_message``/``decode_message`` implement
+the schema-guided walk the hardware engines perform, built on the wire
+primitives, and they round-trip exactly (property-tested).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.rpc.schema import FieldDescriptor, FieldKind, MessageSchema
+from repro.rpc.wire import (
+    WireError,
+    WireType,
+    decode_fixed64,
+    decode_key,
+    decode_len_prefixed,
+    decode_varint,
+    encode_fixed64,
+    encode_key,
+    encode_len_prefixed,
+    encode_varint,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+def _encode_scalar(descriptor: FieldDescriptor, item) -> bytes:
+    if descriptor.kind == FieldKind.UINT:
+        return encode_varint(int(item))
+    if descriptor.kind == FieldKind.SINT:
+        return encode_varint(zigzag_encode(int(item)))
+    if descriptor.kind == FieldKind.DOUBLE:
+        return encode_fixed64(float(item))
+    if descriptor.kind == FieldKind.STRING:
+        return encode_len_prefixed(item.encode("utf-8"))
+    if descriptor.kind == FieldKind.BYTES:
+        return encode_len_prefixed(bytes(item))
+    raise ValueError(f"not a scalar kind: {descriptor.kind}")
+
+
+def encode_message(schema: MessageSchema, value: Dict) -> bytes:
+    """Serialize ``value`` per ``schema`` into protobuf wire bytes."""
+    out = bytearray()
+    for descriptor in schema.fields:
+        if descriptor.name not in value:
+            continue   # proto3 semantics: absent fields are skipped
+        item = value[descriptor.name]
+        if descriptor.repeated:
+            if not item:
+                # proto3: an empty repeated field is absent on the wire.
+                continue
+            if descriptor.packed:
+                # One LEN record holding every element back to back.
+                payload = bytearray()
+                for element in item:
+                    payload += _encode_scalar(descriptor, element)
+                out += encode_key(descriptor.number, descriptor.wire_type)
+                out += encode_len_prefixed(bytes(payload))
+            else:
+                for element in item:
+                    out += encode_key(descriptor.number, descriptor.wire_type)
+                    if descriptor.kind == FieldKind.MESSAGE:
+                        out += encode_len_prefixed(
+                            encode_message(descriptor.message, element)
+                        )
+                    else:
+                        out += _encode_scalar(descriptor, element)
+            continue
+        out += encode_key(descriptor.number, descriptor.wire_type)
+        if descriptor.kind == FieldKind.MESSAGE:
+            out += encode_len_prefixed(encode_message(descriptor.message, item))
+        else:
+            out += _encode_scalar(descriptor, item)
+    return bytes(out)
+
+
+def _decode_scalar(descriptor: FieldDescriptor, data: bytes, offset: int):
+    if descriptor.kind == FieldKind.UINT:
+        return decode_varint(data, offset)
+    if descriptor.kind == FieldKind.SINT:
+        raw, offset = decode_varint(data, offset)
+        return zigzag_decode(raw), offset
+    if descriptor.kind == FieldKind.DOUBLE:
+        return decode_fixed64(data, offset)
+    if descriptor.kind == FieldKind.STRING:
+        raw, offset = decode_len_prefixed(data, offset)
+        return raw.decode("utf-8"), offset
+    if descriptor.kind == FieldKind.BYTES:
+        return decode_len_prefixed(data, offset)
+    raise ValueError(f"not a scalar kind: {descriptor.kind}")
+
+
+def decode_message(schema: MessageSchema, data: bytes) -> Dict:
+    """Parse wire bytes back into a value dict (unknown fields rejected)."""
+    value: Dict = {}
+    offset = 0
+    while offset < len(data):
+        number, wire_type, offset = decode_key(data, offset)
+        descriptor = schema.field_by_number(number)
+        if descriptor.wire_type is not wire_type:
+            raise WireError(
+                f"field {descriptor.name} expected {descriptor.wire_type}, got {wire_type}"
+            )
+        if descriptor.packed:
+            payload, offset = decode_len_prefixed(data, offset)
+            elements = value.setdefault(descriptor.name, [])
+            inner = 0
+            while inner < len(payload):
+                element, inner = _decode_scalar(descriptor, payload, inner)
+                elements.append(element)
+        elif descriptor.repeated:
+            elements = value.setdefault(descriptor.name, [])
+            if descriptor.kind == FieldKind.MESSAGE:
+                raw, offset = decode_len_prefixed(data, offset)
+                elements.append(decode_message(descriptor.message, raw))
+            else:
+                element, offset = _decode_scalar(descriptor, data, offset)
+                elements.append(element)
+        elif descriptor.kind == FieldKind.MESSAGE:
+            raw, offset = decode_len_prefixed(data, offset)
+            value[descriptor.name] = decode_message(descriptor.message, raw)
+        else:
+            value[descriptor.name], offset = _decode_scalar(descriptor, data, offset)
+    return value
+
+
+@dataclass
+class MessageStats:
+    """The cost drivers the hardware pipelines care about."""
+
+    wire_bytes: int
+    scalar_fields: int
+    nested_messages: int
+    max_depth: int
+
+
+def message_stats(schema: MessageSchema, value: Dict) -> MessageStats:
+    encoded = encode_message(schema, value)
+    fields, nested, depth = _walk(schema, value, 0)
+    return MessageStats(
+        wire_bytes=len(encoded),
+        scalar_fields=fields,
+        nested_messages=nested,
+        max_depth=depth,
+    )
+
+
+def _walk(schema: MessageSchema, value: Dict, depth: int):
+    fields = 0
+    nested = 0
+    max_depth = depth
+    for descriptor in schema.fields:
+        if descriptor.name not in value:
+            continue
+        item = value[descriptor.name]
+        elements = item if descriptor.repeated else [item]
+        for element in elements:
+            if descriptor.kind == FieldKind.MESSAGE:
+                nested += 1
+                f, n, d = _walk(descriptor.message, element, depth + 1)
+                fields += f
+                nested += n
+                max_depth = max(max_depth, d)
+            else:
+                fields += 1
+    return fields, nested, max_depth
+
+
+def generate_message(
+    schema: MessageSchema,
+    rng: random.Random,
+    string_bytes: int = 16,
+) -> Dict:
+    """Fill every field of ``schema`` with deterministic random data."""
+    value: Dict = {}
+    for descriptor in schema.fields:
+        if descriptor.repeated:
+            count = rng.randint(1, 4)
+            value[descriptor.name] = [
+                _generate_element(descriptor, rng, string_bytes)
+                for _ in range(count)
+            ]
+        else:
+            value[descriptor.name] = _generate_element(descriptor, rng, string_bytes)
+    return value
+
+
+def _generate_element(descriptor: FieldDescriptor, rng: random.Random, string_bytes: int):
+    if descriptor.kind == FieldKind.UINT:
+        return rng.randrange(1 << 20)
+    if descriptor.kind == FieldKind.SINT:
+        return rng.randrange(-(1 << 19), 1 << 19)
+    if descriptor.kind == FieldKind.DOUBLE:
+        return rng.random() * 1e6
+    if descriptor.kind == FieldKind.STRING:
+        size = max(1, int(string_bytes * rng.uniform(0.9, 1.1)))
+        return "".join(
+            rng.choice("abcdefghijklmnopqrstuvwxyz") for _ in range(size)
+        )
+    if descriptor.kind == FieldKind.BYTES:
+        size = max(1, int(string_bytes * rng.uniform(0.9, 1.1)))
+        return bytes(rng.randrange(256) for _ in range(size))
+    if descriptor.kind == FieldKind.MESSAGE:
+        return generate_message(descriptor.message, rng, string_bytes)
+    raise ValueError(f"unknown kind {descriptor.kind}")

@@ -1,0 +1,140 @@
+"""Message schemas and the NIC schema table.
+
+The host pre-runs the protobuf compiler and loads message-structure
+metadata into the NIC's schema table (Fig. 10); the hardware
+(de)serializer walks this metadata to decode/encode field-by-field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.rpc.wire import WireType
+
+
+class FieldKind:
+    UINT = "uint64"          # varint
+    SINT = "sint64"          # zigzag varint
+    DOUBLE = "double"        # fixed64
+    STRING = "string"        # length-delimited
+    BYTES = "bytes"          # length-delimited
+    MESSAGE = "message"      # nested, length-delimited
+
+    SCALARS = (UINT, SINT, DOUBLE, STRING, BYTES)
+    ALL = (UINT, SINT, DOUBLE, STRING, BYTES, MESSAGE)
+
+
+_WIRE_OF = {
+    FieldKind.UINT: WireType.VARINT,
+    FieldKind.SINT: WireType.VARINT,
+    FieldKind.DOUBLE: WireType.I64,
+    FieldKind.STRING: WireType.LEN,
+    FieldKind.BYTES: WireType.LEN,
+    FieldKind.MESSAGE: WireType.LEN,
+}
+
+
+@dataclass(frozen=True)
+class FieldDescriptor:
+    """One field of a message schema.
+
+    ``repeated`` fields hold lists; repeated numeric fields use proto3's
+    packed encoding (one length-delimited record), while repeated
+    strings/bytes/messages repeat the field key per element.
+    """
+
+    number: int
+    name: str
+    kind: str
+    message: Optional["MessageSchema"] = None   # for nested fields
+    repeated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.number < 1:
+            raise ValueError("field numbers start at 1")
+        if self.kind not in FieldKind.ALL:
+            raise ValueError(f"unknown field kind {self.kind!r}")
+        if (self.kind == FieldKind.MESSAGE) != (self.message is not None):
+            raise ValueError("message kind and nested schema must go together")
+
+    @property
+    def packed(self) -> bool:
+        """proto3: repeated numeric fields default to packed encoding."""
+        return self.repeated and self.kind in (
+            FieldKind.UINT,
+            FieldKind.SINT,
+            FieldKind.DOUBLE,
+        )
+
+    @property
+    def wire_type(self) -> WireType:
+        if self.packed:
+            return WireType.LEN
+        return _WIRE_OF[self.kind]
+
+
+@dataclass(frozen=True)
+class MessageSchema:
+    """An ordered set of field descriptors."""
+
+    name: str
+    fields: tuple
+
+    def __post_init__(self) -> None:
+        numbers = [f.number for f in self.fields]
+        if len(numbers) != len(set(numbers)):
+            raise ValueError(f"duplicate field numbers in {self.name}")
+
+    def field_by_number(self, number: int) -> FieldDescriptor:
+        for f in self.fields:
+            if f.number == number:
+                return f
+        raise KeyError(f"{self.name} has no field {number}")
+
+    def scalar_field_count(self) -> int:
+        """Recursive count of scalar fields (one nested instance each)."""
+        count = 0
+        for f in self.fields:
+            if f.kind == FieldKind.MESSAGE:
+                count += f.message.scalar_field_count()
+            else:
+                count += 1
+        return count
+
+    def nested_message_count(self) -> int:
+        count = 0
+        for f in self.fields:
+            if f.kind == FieldKind.MESSAGE:
+                count += 1 + f.message.nested_message_count()
+        return count
+
+    def max_depth(self) -> int:
+        depth = 0
+        for f in self.fields:
+            if f.kind == FieldKind.MESSAGE:
+                depth = max(depth, 1 + f.message.max_depth())
+        return depth
+
+
+class SchemaTable:
+    """The NIC-resident table mapping message-type ids to schemas."""
+
+    def __init__(self) -> None:
+        self._schemas: Dict[int, MessageSchema] = {}
+        self.lookups = 0
+
+    def load(self, type_id: int, schema: MessageSchema) -> None:
+        if type_id in self._schemas:
+            raise ValueError(f"type id {type_id} already loaded")
+        self._schemas[type_id] = schema
+
+    def lookup(self, type_id: int) -> MessageSchema:
+        self.lookups += 1
+        try:
+            return self._schemas[type_id]
+        except KeyError:
+            raise KeyError(f"schema table has no type id {type_id}") from None
+
+    def __len__(self) -> int:
+        return len(self._schemas)

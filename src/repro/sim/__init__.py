@@ -1,0 +1,35 @@
+"""Discrete-event simulation kernel used by every SimCXL subsystem.
+
+Time is an integer number of picoseconds, which lets multiple clock
+domains (e.g. a 400 MHz FPGA device and a 2.4 GHz host) coexist without
+floating-point drift.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.clock import Clock, GHZ, MHZ, NS, PS, US
+from repro.sim.component import Component, Port
+from repro.sim.queueing import BoundedQueue, CreditPool, QueueFullError
+from repro.sim.stats import Counter, Histogram, RunningMean
+from repro.sim.trace import TraceLog, TraceRecord, Tracer
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Clock",
+    "GHZ",
+    "MHZ",
+    "NS",
+    "PS",
+    "US",
+    "Component",
+    "Port",
+    "BoundedQueue",
+    "CreditPool",
+    "QueueFullError",
+    "Counter",
+    "Histogram",
+    "RunningMean",
+    "TraceLog",
+    "TraceRecord",
+    "Tracer",
+]

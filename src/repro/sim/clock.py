@@ -1,0 +1,67 @@
+"""Clock domains and time-unit helpers.
+
+All engine time is integer picoseconds.  A :class:`Clock` converts
+between cycles of a particular frequency and picoseconds, and can round
+an arbitrary time up to its next edge, which is how components model
+synchronous hand-off between domains (e.g. a 400 MHz device feeding a
+2.4 GHz host pipeline).
+"""
+
+from __future__ import annotations
+
+PS = 1
+NS = 1_000
+US = 1_000_000
+MS = 1_000_000_000
+
+
+def MHZ(value: float) -> int:
+    """Period in picoseconds of a clock at ``value`` MHz."""
+    return round(1_000_000 / value)
+
+
+def GHZ(value: float) -> int:
+    """Period in picoseconds of a clock at ``value`` GHz."""
+    return round(1_000 / value)
+
+
+class Clock:
+    """A fixed-frequency clock domain."""
+
+    __slots__ = ("period_ps", "name")
+
+    def __init__(self, period_ps: int, name: str = "clk") -> None:
+        if period_ps <= 0:
+            raise ValueError("clock period must be positive")
+        self.period_ps = period_ps
+        self.name = name
+
+    @classmethod
+    def from_mhz(cls, mhz: float, name: str = "clk") -> "Clock":
+        return cls(MHZ(mhz), name)
+
+    @classmethod
+    def from_ghz(cls, ghz: float, name: str = "clk") -> "Clock":
+        return cls(GHZ(ghz), name)
+
+    @property
+    def freq_ghz(self) -> float:
+        return 1_000 / self.period_ps
+
+    def cycles(self, n: float) -> int:
+        """Duration of ``n`` cycles in picoseconds (rounded)."""
+        return round(n * self.period_ps)
+
+    def to_cycles(self, ps: int) -> float:
+        """How many cycles of this clock fit in ``ps`` picoseconds."""
+        return ps / self.period_ps
+
+    def next_edge(self, now_ps: int) -> int:
+        """Earliest clock edge at or after ``now_ps``."""
+        remainder = now_ps % self.period_ps
+        if remainder == 0:
+            return now_ps
+        return now_ps + self.period_ps - remainder
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Clock({self.name}, {self.freq_ghz:.3f} GHz)"

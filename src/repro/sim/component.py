@@ -1,0 +1,81 @@
+"""Component and port abstractions.
+
+A :class:`Component` owns a reference to the simulator and (optionally)
+a clock domain.  :class:`Port` gives point-to-point, latency-annotated
+message delivery between components; it is the Python analogue of the
+gem5 port pairs in Fig. 6 (cache port, PIO port, DMA port, mem ports).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.clock import Clock
+from repro.sim.engine import Simulator
+
+
+class Component:
+    """Base class for every simulated hardware block."""
+
+    def __init__(self, sim: Simulator, name: str, clock: Optional[Clock] = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.clock = clock
+
+    def delay_cycles(self, n: float) -> int:
+        """Convert ``n`` cycles of this component's clock to picoseconds."""
+        if self.clock is None:
+            raise RuntimeError(f"component {self.name!r} has no clock domain")
+        return self.clock.cycles(n)
+
+    def schedule(self, delay_ps: int, callback: Callable[..., None], *args: Any) -> None:
+        self.sim.schedule(delay_ps, callback, *args, label=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Port:
+    """One direction of a point-to-point link between two components.
+
+    Messages sent on the port arrive at the peer's handler after the
+    configured latency.  Bind the two directions separately::
+
+        req = Port(sim, "dev.req", latency_ps=1000)
+        req.connect(host.handle_request)
+        req.send(packet)
+    """
+
+    def __init__(self, sim: Simulator, name: str, latency_ps: int = 0) -> None:
+        self.sim = sim
+        self.name = name
+        self.latency_ps = latency_ps
+        self._handler: Optional[Callable[[Any], None]] = None
+        self.sent = 0
+        self.delivered = 0
+
+    def connect(self, handler: Callable[[Any], None]) -> None:
+        if self._handler is not None:
+            raise RuntimeError(f"port {self.name!r} is already connected")
+        self._handler = handler
+
+    @property
+    def connected(self) -> bool:
+        return self._handler is not None
+
+    def send(self, payload: Any, extra_delay_ps: int = 0) -> None:
+        """Deliver ``payload`` to the peer after port latency."""
+        if self._handler is None:
+            raise RuntimeError(f"port {self.name!r} is not connected")
+        self.sent += 1
+        self.sim.schedule(
+            self.latency_ps + extra_delay_ps,
+            self._deliver,
+            payload,
+            label=self.name,
+        )
+
+    def _deliver(self, payload: Any) -> None:
+        self.delivered += 1
+        assert self._handler is not None
+        self._handler(payload)

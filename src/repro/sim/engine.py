@@ -1,0 +1,144 @@
+"""Event queue and simulator core.
+
+The engine is a classic calendar built on a binary heap.  Events carry a
+monotonically increasing sequence number so that two events scheduled for
+the same picosecond fire in scheduling order, which keeps protocol
+interleavings deterministic run-to-run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Simulator.schedule`; user code only
+    holds them to call :meth:`cancel`.
+    """
+
+    __slots__ = ("when", "seq", "callback", "args", "cancelled", "label")
+
+    def __init__(
+        self,
+        when: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...],
+        label: str = "",
+    ) -> None:
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Mark the event dead; the engine drops it when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event({self.label or self.callback!r} @ {self.when}ps, {state})"
+
+
+class Simulator:
+    """Discrete-event simulator with picosecond integer time."""
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._seq: int = 0
+        self._heap: List[Event] = []
+        self._executed: int = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in picoseconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the calendar (including cancelled)."""
+        return len(self._heap)
+
+    @property
+    def executed(self) -> int:
+        """Total number of events that have fired."""
+        return self._executed
+
+    def schedule(
+        self,
+        delay_ps: int,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay_ps`` from now."""
+        if delay_ps < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay_ps})")
+        self._seq += 1
+        event = Event(self._now + delay_ps, self._seq, callback, args, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(
+        self,
+        when_ps: int,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``when_ps``."""
+        return self.schedule(when_ps - self._now, callback, *args, label=label)
+
+    def run(self, until_ps: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Drain the calendar.
+
+        Runs until the calendar is empty, until simulated time would pass
+        ``until_ps``, or until ``max_events`` events have fired, whichever
+        comes first.  Returns the number of events executed by this call.
+        """
+        executed_before = self._executed
+        while self._heap:
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until_ps is not None and event.when > until_ps:
+                self._now = until_ps
+                break
+            if max_events is not None and self._executed - executed_before >= max_events:
+                break
+            heapq.heappop(self._heap)
+            self._now = event.when
+            self._executed += 1
+            event.callback(*event.args)
+        else:
+            if until_ps is not None and until_ps > self._now:
+                self._now = until_ps
+        return self._executed - executed_before
+
+    def step(self) -> bool:
+        """Fire exactly one live event.  Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.when
+            self._executed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Clear the calendar and rewind time to zero."""
+        self._heap.clear()
+        self._now = 0
+        self._seq = 0
+        self._executed = 0

@@ -1,0 +1,119 @@
+"""Activity tracing for simulated components.
+
+A :class:`TraceLog` collects timestamped records ``(time, component,
+event, fields)`` from any component that cares to emit them.  It backs
+debugging ("show me every message the DCOH sent between t0 and t1") and
+the waveform-style dumps the examples print.  Tracing is opt-in and
+zero-cost when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time_ps: int
+    component: str
+    event: str
+    fields: Tuple[Tuple[str, Any], ...] = ()
+
+    def field(self, name: str, default: Any = None) -> Any:
+        for key, value in self.fields:
+            if key == name:
+                return value
+        return default
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.fields)
+        return f"{self.time_ps:>12}ps {self.component:<16} {self.event:<20} {extras}"
+
+
+class TraceLog:
+    """An append-only, filterable trace."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self.capacity = capacity
+        self._records: List[TraceRecord] = []
+        self.enabled = True
+        self.dropped = 0
+
+    def emit(self, time_ps: int, component: str, event: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self._records) >= self.capacity:
+            self.dropped += 1
+            return
+        self._records.append(
+            TraceRecord(time_ps, component, event, tuple(sorted(fields.items())))
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def filter(
+        self,
+        component: Optional[str] = None,
+        event: Optional[str] = None,
+        since_ps: Optional[int] = None,
+        until_ps: Optional[int] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> List[TraceRecord]:
+        out = []
+        for record in self._records:
+            if component is not None and record.component != component:
+                continue
+            if event is not None and record.event != event:
+                continue
+            if since_ps is not None and record.time_ps < since_ps:
+                continue
+            if until_ps is not None and record.time_ps > until_ps:
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            out.append(record)
+        return out
+
+    def counts_by_event(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for record in self._records:
+            out[record.event] = out.get(record.event, 0) + 1
+        return out
+
+    def first(self, event: str) -> Optional[TraceRecord]:
+        for record in self._records:
+            if record.event == event:
+                return record
+        return None
+
+    def render(self, limit: int = 50) -> str:
+        lines = [str(r) for r in self._records[:limit]]
+        if len(self._records) > limit:
+            lines.append(f"... ({len(self._records) - limit} more)")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self._records.clear()
+        self.dropped = 0
+
+
+class Tracer:
+    """A component-bound handle onto a shared :class:`TraceLog`."""
+
+    __slots__ = ("log", "component", "now")
+
+    def __init__(self, log: TraceLog, component: str, now: Callable[[], int]) -> None:
+        self.log = log
+        self.component = component
+        self.now = now
+
+    def emit(self, event: str, **fields: Any) -> None:
+        self.log.emit(self.now(), self.component, event, **fields)

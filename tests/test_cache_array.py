@@ -1,0 +1,130 @@
+"""Tests for the set-associative cache array."""
+
+import pytest
+
+from repro.cache.array import CacheArray
+from repro.cache.block import MesiState
+
+
+def small_array():
+    # 2 sets x 2 ways x 64B lines = 256 bytes.
+    return CacheArray(size=256, ways=2, name="t")
+
+
+def test_geometry():
+    arr = small_array()
+    assert arr.num_sets == 2
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ValueError):
+        CacheArray(size=100, ways=2)
+    with pytest.raises(ValueError):
+        CacheArray(size=0, ways=1)
+
+
+def test_miss_then_hit():
+    arr = small_array()
+    assert arr.lookup(0) is None
+    arr.insert(0, MesiState.EXCLUSIVE)
+    assert arr.lookup(0) is not None
+    assert arr.hits == 1
+    assert arr.misses == 1
+
+
+def test_same_line_different_offsets_hit():
+    arr = small_array()
+    arr.insert(0, MesiState.SHARED)
+    assert arr.lookup(63) is not None
+
+
+def test_lru_eviction():
+    arr = small_array()
+    # Set 0 holds lines 0 and 128 (two ways).
+    arr.insert(0, MesiState.EXCLUSIVE)
+    arr.insert(128, MesiState.EXCLUSIVE)
+    arr.lookup(0)  # make line 0 most recent
+    _block, victim = arr.insert(256, MesiState.EXCLUSIVE)
+    assert victim is not None
+    victim_addr, victim_block = victim
+    assert victim_addr == 128
+
+
+def test_dirty_eviction_counted():
+    arr = small_array()
+    arr.insert(0, MesiState.MODIFIED)
+    arr.insert(128, MesiState.EXCLUSIVE)
+    arr.lookup(128)
+    _b, victim = arr.insert(256, MesiState.EXCLUSIVE)
+    assert victim[1].dirty
+    assert arr.dirty_evictions == 1
+
+
+def test_locked_line_not_evicted():
+    arr = small_array()
+    b0, _ = arr.insert(0, MesiState.MODIFIED)
+    b0.locked = True
+    arr.insert(128, MesiState.EXCLUSIVE)
+    _b, victim = arr.insert(256, MesiState.EXCLUSIVE)
+    assert victim[0] == 128  # the unlocked way went instead
+
+
+def test_all_ways_locked_raises():
+    arr = small_array()
+    b0, _ = arr.insert(0, MesiState.MODIFIED)
+    b1, _ = arr.insert(128, MesiState.MODIFIED)
+    b0.locked = True
+    b1.locked = True
+    with pytest.raises(RuntimeError):
+        arr.insert(256, MesiState.EXCLUSIVE)
+
+
+def test_insert_existing_updates_state():
+    arr = small_array()
+    arr.insert(0, MesiState.SHARED)
+    block, victim = arr.insert(0, MesiState.MODIFIED)
+    assert victim is None
+    assert block.state is MesiState.MODIFIED
+    assert arr.occupancy == 1
+
+
+def test_invalidate():
+    arr = small_array()
+    arr.insert(0, MesiState.EXCLUSIVE)
+    old = arr.invalidate(0)
+    assert old is not None
+    assert arr.peek(0) is None
+    assert arr.invalidate(0) is None
+
+
+def test_insert_invalid_state_rejected():
+    arr = small_array()
+    with pytest.raises(ValueError):
+        arr.insert(0, MesiState.INVALID)
+
+
+def test_blocks_iteration_addresses():
+    arr = small_array()
+    arr.insert(64, MesiState.EXCLUSIVE)   # set 1
+    arr.insert(128, MesiState.SHARED)     # set 0
+    addrs = {addr for addr, _block in arr.blocks()}
+    assert addrs == {64, 128}
+
+
+def test_hit_rate_and_reset():
+    arr = small_array()
+    arr.insert(0, MesiState.EXCLUSIVE)
+    arr.lookup(0)   # hit
+    arr.lookup(64)  # miss
+    assert arr.hit_rate == pytest.approx(0.5)
+    arr.reset_stats()
+    assert arr.hits == 0 and arr.misses == 0
+
+
+def test_peek_does_not_touch_lru():
+    arr = small_array()
+    arr.insert(0, MesiState.EXCLUSIVE)
+    arr.insert(128, MesiState.EXCLUSIVE)
+    arr.peek(0)  # no LRU update: line 0 stays oldest
+    _b, victim = arr.insert(256, MesiState.EXCLUSIVE)
+    assert victim[0] == 0

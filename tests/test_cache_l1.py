@@ -1,0 +1,110 @@
+"""Tests for the L1 peer cache."""
+
+import pytest
+
+from repro.cache.block import MesiState
+from repro.cache.l1 import L1Cache
+from repro.cache.llc import SharedLLC
+from repro.cache.messages import MessageType
+from repro.config import fpga_system
+from repro.config.system import DramParams
+from repro.mem.address import AddressRange
+from repro.mem.controller import MemoryController
+from repro.mem.interface import MemoryInterface
+from repro.sim.engine import Simulator
+
+
+def build():
+    config = fpga_system()
+    sim = Simulator()
+    memif = MemoryInterface(config.host.memif_oneway_ps)
+    memif.attach(
+        "host",
+        AddressRange(0, 1 << 40, "host"),
+        MemoryController(DramParams(jitter_ps=0), channels=2, seed=1),
+    )
+    llc = SharedLLC(sim, config.host, memif)
+    l1 = L1Cache(sim, config.host, llc)
+    return sim, llc, l1
+
+
+def run(sim, fn, *args):
+    done = []
+    fn(*args, lambda: done.append(sim.now))
+    sim.run()
+    assert done
+    return done[0]
+
+
+def test_load_fills_shared():
+    sim, llc, l1 = build()
+    run(sim, l1.load, 0x1000)
+    block = l1.array.peek(0x1000)
+    assert block.state is MesiState.SHARED
+    assert l1.name in llc.directory_entry(0x1000).sharers
+
+
+def test_load_hit_is_fast():
+    sim, llc, l1 = build()
+    run(sim, l1.load, 0x1000)
+    before = sim.now
+    run(sim, l1.load, 0x1000)
+    assert sim.now - before == l1.hit_ps
+
+
+def test_store_acquires_ownership_and_dirties():
+    sim, llc, l1 = build()
+    run(sim, l1.store, 0x2000)
+    block = l1.array.peek(0x2000)
+    assert block.state is MesiState.MODIFIED
+    assert llc.directory_entry(0x2000).owner == l1.name
+
+
+def test_store_after_load_upgrades():
+    sim, llc, l1 = build()
+    run(sim, l1.load, 0x3000)
+    run(sim, l1.store, 0x3000)
+    assert l1.array.peek(0x3000).state is MesiState.MODIFIED
+    assert llc.directory_entry(0x3000).owner == l1.name
+
+
+def test_snoop_inv_on_modified_forwards_data():
+    sim, llc, l1 = build()
+    run(sim, l1.store, 0x4000)
+    response = l1.snoop(MessageType.SNP_INV, 0x4000)
+    assert response is MessageType.RSP_I_FWD_M
+    assert l1.array.peek(0x4000) is None
+
+
+def test_snoop_inv_on_clean_returns_rsp_i():
+    sim, llc, l1 = build()
+    run(sim, l1.load, 0x5000)
+    response = l1.snoop(MessageType.SNP_INV, 0x5000)
+    assert response is MessageType.RSP_I
+
+
+def test_snoop_data_downgrades_to_shared():
+    sim, llc, l1 = build()
+    run(sim, l1.store, 0x6000)
+    response = l1.snoop(MessageType.SNP_DATA, 0x6000)
+    assert response is MessageType.RSP_S_FWD_S
+    assert l1.array.peek(0x6000).state is MesiState.SHARED
+
+
+def test_snoop_absent_line():
+    _sim, _llc, l1 = build()
+    assert l1.snoop(MessageType.SNP_INV, 0x9999) is MessageType.RSP_I
+
+
+def test_evict_dirty_uses_dirty_evict_flow():
+    sim, llc, l1 = build()
+    run(sim, l1.store, 0x7000)
+    run(sim, l1.evict, 0x7000)
+    assert l1.array.peek(0x7000) is None
+    assert llc.directory_entry(0x7000).owner is None
+
+
+def test_evict_absent_line_is_noop():
+    sim, _llc, l1 = build()
+    run(sim, l1.evict, 0x8000)
+    assert l1.array.peek(0x8000) is None

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    import repro.cli as cli
+    import sys
+
+    old = sys.stdout
+    sys.stdout = out
+    try:
+        code = cli.main(list(argv))
+    finally:
+        sys.stdout = old
+    return code, out.getvalue()
+
+
+def test_list_names_every_experiment():
+    code, out = run_cli("list")
+    assert code == 0
+    for name in ("table1", "fig12", "fig17", "fig18b", "mape"):
+        assert name in out
+
+
+def test_run_single_experiment():
+    code, out = run_cli("run", "table2")
+    assert code == 0
+    assert "SimCXL" in out
+
+
+def test_run_unknown_experiment():
+    code, out = run_cli("run", "fig99")
+    assert code == 2
+    assert "unknown experiment" in out
+
+
+def test_run_writes_to_file(tmp_path):
+    target = tmp_path / "result.txt"
+    code, _out = run_cli("run", "table1", "--out", str(target))
+    assert code == 0
+    assert "Xeon" in target.read_text()
+
+
+def test_info_shows_profiles():
+    code, out = run_cli("info")
+    assert code == 0
+    assert "CXL-FPGA@400MHz" in out
+    assert "CXL-ASIC@1.5GHz" in out
+    assert "115.0 ns" in out
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        main([])

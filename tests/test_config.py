@@ -1,0 +1,103 @@
+"""Tests for configuration dataclasses and the calibrated presets."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    ASIC_1500,
+    FPGA_400,
+    PCIE_ASIC_1500,
+    PCIE_FPGA_400,
+    asic_system,
+    fpga_system,
+    simcxl_table1_config,
+)
+from repro.config import testbed_table1_config as make_testbed_config
+from repro.config.presets import NUMA_EXTRA_PS
+from repro.config.system import DmaParams
+
+
+# --------------------------- Device profiles --------------------------
+def test_fpga_path_decomposition_sums_to_paper_targets():
+    assert FPGA_400.hmc_hit_ps == 115_000
+    assert FPGA_400.pre_host_ps == 45_000
+    assert FPGA_400.post_host_ps == 50_000
+    assert FPGA_400.freq_mhz == pytest.approx(400.0)
+
+
+def test_asic_path_decomposition():
+    assert ASIC_1500.hmc_hit_ps == 10_005    # 15 cycles at ~1.5 GHz
+    assert ASIC_1500.freq_mhz == pytest.approx(1499.25, rel=1e-3)
+
+
+def test_asic_scales_device_cycles_down():
+    # The ASIC implements the same pipeline in fewer, faster cycles.
+    assert ASIC_1500.clock_period_ps < FPGA_400.clock_period_ps
+    assert ASIC_1500.hmc_hit_ps < FPGA_400.hmc_hit_ps / 10
+
+
+def test_derived_end_to_end_latencies():
+    fpga = fpga_system()
+    assert fpga.llc_hit_ps == 576_000
+    assert fpga.mem_hit_ps == 688_000
+    asic = asic_system()
+    assert asic.llc_hit_ps == pytest.approx(217_000, rel=0.001)
+    assert asic.mem_hit_ps == pytest.approx(260_000, rel=0.001)
+
+
+# ------------------------------- DMA -----------------------------------
+def test_dma_setup_decomposition():
+    # setup = engine cycles x period + fixed PHY.
+    assert PCIE_FPGA_400.setup_ps == 546 * 2_500 + 800_000
+    assert PCIE_ASIC_1500.setup_ps == 546 * 667 + 800_000
+
+
+def test_dma_wire_segmentation_overhead():
+    # 1300B -> 2 full TLPs + 1 partial, each with a 60B header.
+    wire_bytes = 2 * (512 + 60) + (276 + 60)
+    expected = round(wire_bytes / 25.6 * 1000)
+    assert PCIE_FPGA_400.wire_ps(1300) == expected
+    assert PCIE_FPGA_400.wire_ps(0) == 0
+
+
+def test_dma_transfer_64b_matches_fig13():
+    assert PCIE_FPGA_400.transfer_ps(64) == pytest.approx(2_170_000, rel=0.001)
+    assert PCIE_ASIC_1500.transfer_ps(64) == pytest.approx(1_170_000, rel=0.001)
+
+
+def test_dma_pipelined_bandwidth_at_64b():
+    per = PCIE_FPGA_400.pipelined_ps(64)
+    assert 64 / per * 1000 == pytest.approx(0.92, rel=0.01)   # GB/s
+    per_asic = PCIE_ASIC_1500.pipelined_ps(64)
+    assert 64 / per_asic * 1000 == pytest.approx(1.82, rel=0.01)
+
+
+# ----------------------------- Systems ---------------------------------
+def test_system_replace_immutably():
+    config = fpga_system()
+    faster = config.replace(device=ASIC_1500)
+    assert faster.device is ASIC_1500
+    assert config.device is FPGA_400   # original untouched
+
+
+def test_profiles_are_frozen():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        FPGA_400.phy_oneway_ps = 0
+
+
+# ------------------------------ Table I --------------------------------
+def test_table1_rows_align():
+    testbed = make_testbed_config().rows()
+    simcxl = simcxl_table1_config()
+    assert testbed.keys() == simcxl.keys()
+    assert testbed["HMC size"] == simcxl["HMC size"] == "128KB, 4 ways"
+
+
+# ------------------------------ Fig. 12 --------------------------------
+def test_numa_extras_monotone_with_paper_staircase():
+    # Remote-socket nodes all cost more than same-socket nodes.
+    same_socket = [NUMA_EXTRA_PS[n] for n in (4, 5, 6, 7)]
+    remote = [NUMA_EXTRA_PS[n] for n in (0, 1, 2, 3)]
+    assert max(same_socket) < min(remote)
+    assert NUMA_EXTRA_PS[7] == 0

@@ -1,0 +1,98 @@
+"""Tests for supernode composition: leasing, routing, coherence."""
+
+import pytest
+
+from repro.config import asic_system
+from repro.core.supernode import Supernode
+from repro.kernel.fabric import ResourceError
+from repro.kernel.numa import NodeKind
+
+
+def build(hosts=2, fabric_gb=4):
+    return Supernode(
+        asic_system(),
+        hosts=hosts,
+        fabric_memory_bytes=fabric_gb << 30,
+        memory_granule=1 << 30,
+    )
+
+
+def test_lease_extends_capacity():
+    node = build()
+    before = node.total_capacity_bytes("host0")
+    leased = node.lease_memory("host0", 1 << 29)
+    after = node.total_capacity_bytes("host0")
+    assert after == before + (1 << 30)
+    numa_node = node.hosts["host0"].numa.node(leased)
+    assert numa_node.kind is NodeKind.MEMORY_ONLY
+
+
+def test_leases_are_exclusive():
+    node = build(fabric_gb=2)
+    node.lease_memory("host0", 1 << 30)
+    node.lease_memory("host1", 1 << 30)
+    with pytest.raises(ResourceError):
+        node.lease_memory("host0", 1 << 30)
+    assert node.free_fabric_bytes == 0
+
+
+def test_release_returns_granule():
+    node = build(fabric_gb=1)
+    leased = node.lease_memory("host0", 1 << 29)
+    node.release_memory("host0", leased)
+    assert node.free_fabric_bytes == 1 << 30
+    # Another host can now take it.
+    node.lease_memory("host1", 1 << 29)
+
+
+def test_release_with_allocations_refused():
+    node = build(fabric_gb=1)
+    leased = node.lease_memory("host0", 1 << 29)
+    node.hosts["host0"].numa.node(leased).alloc_frame()
+    with pytest.raises(ResourceError):
+        node.release_memory("host0", leased)
+
+
+def test_release_foreign_lease_refused():
+    node = build(fabric_gb=1)
+    leased = node.lease_memory("host0", 1 << 29)
+    with pytest.raises(ResourceError):
+        node.release_memory("host1", leased)
+
+
+def test_coherent_access_pays_fabric_once():
+    node = build()
+    first = node.coherent_access("host0", 0x1000)
+    again = node.coherent_access("host0", 0x1000)
+    assert first > 0        # global-agent round trip over the fabric
+    assert again == 0       # local agent replica
+    assert node.hosts["host0"].remote_accesses == 1
+
+
+def test_cross_host_writer_invalidates_reader():
+    node = build()
+    node.coherent_access("host0", 0x2000)
+    node.coherent_access("host1", 0x2000, exclusive=True)
+    # host0 lost its replica: the next access goes remote again.
+    assert node.coherent_access("host0", 0x2000) > 0
+
+
+def test_fabric_latency_includes_two_switch_hops():
+    node = build()
+    latency = node.coherent_access("host0", 0x3000)
+    # leaf -> root (fabric endpoint lives at the root): 2 switches each
+    # way at 70 ns.
+    assert latency == 2 * 2 * 70_000
+
+
+def test_utilization_view():
+    node = build()
+    node.lease_memory("host1", 1 << 29)
+    holdings = node.utilization()
+    assert holdings["host1"] == ["fam0"]
+    assert holdings["host0"] == []
+
+
+def test_invalid_host_count():
+    with pytest.raises(ValueError):
+        Supernode(asic_system(), hosts=0)

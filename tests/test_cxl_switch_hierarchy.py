@@ -1,0 +1,145 @@
+"""Tests for CXL switches, fabric routing, and hierarchical coherence."""
+
+import pytest
+
+from repro.cache.hierarchy import GlobalAgent, HierarchicalDomain, LocalAgent
+from repro.cxl.switch import CxlSwitch, RoutingError, SwitchFabric
+
+
+# ------------------------------ Switches ------------------------------
+def build_fabric():
+    fabric = SwitchFabric()
+    root = fabric.add_switch(CxlSwitch("root", traversal_ps=70_000))
+    left = fabric.add_switch(CxlSwitch("left", traversal_ps=70_000))
+    right = fabric.add_switch(CxlSwitch("right", traversal_ps=70_000))
+    root.attach_switch(left)
+    root.attach_switch(right)
+    left.attach_endpoint("hostA")
+    left.attach_endpoint("dev0")
+    right.attach_endpoint("hostB")
+    return fabric
+
+
+def test_route_same_switch():
+    fabric = build_fabric()
+    assert fabric.route("hostA", "dev0") == ["left"]
+    assert fabric.hop_count("hostA", "dev0") == 1
+
+
+def test_route_across_root():
+    fabric = build_fabric()
+    assert fabric.route("hostA", "hostB") == ["left", "root", "right"]
+    assert fabric.latency_ps("hostA", "hostB") == 3 * 70_000
+
+
+def test_unknown_endpoint():
+    fabric = build_fabric()
+    with pytest.raises(RoutingError):
+        fabric.route("ghost", "hostA")
+
+
+def test_disconnected_fabric():
+    fabric = SwitchFabric()
+    a = fabric.add_switch(CxlSwitch("a"))
+    b = fabric.add_switch(CxlSwitch("b"))
+    a.attach_endpoint("x")
+    b.attach_endpoint("y")
+    with pytest.raises(RoutingError):
+        fabric.route("x", "y")
+
+
+def test_port_exhaustion():
+    switch = CxlSwitch("s", ports=2)
+    switch.attach_endpoint("a")
+    switch.attach_endpoint("b")
+    with pytest.raises(RoutingError):
+        switch.attach_endpoint("c")
+
+
+def test_duplicate_switch_rejected():
+    fabric = SwitchFabric()
+    fabric.add_switch(CxlSwitch("s"))
+    with pytest.raises(ValueError):
+        fabric.add_switch(CxlSwitch("s"))
+
+
+def test_packets_counted_on_path():
+    fabric = build_fabric()
+    fabric.latency_ps("hostA", "hostB")
+    assert fabric.switch("root").packets_routed == 1
+    assert fabric.switch("left").packets_routed == 1
+
+
+# ----------------------- Hierarchical coherence -----------------------
+def test_local_agent_filters_repeat_accesses():
+    domain = HierarchicalDomain(children=2)
+    for _ in range(10):
+        domain.access("child0", 0x1000)
+    agent = domain.locals["child0"]
+    assert agent.global_requests == 1
+    assert agent.local_hits == 9
+    assert agent.filter_rate == pytest.approx(0.9)
+
+
+def test_exclusive_access_invalidates_sibling():
+    domain = HierarchicalDomain(children=2)
+    domain.access("child0", 0x1000)
+    domain.access("child1", 0x1000, exclusive=True)
+    # child0's replica was invalidated; its next access goes global.
+    domain.access("child0", 0x1000)
+    assert domain.locals["child0"].global_requests == 2
+
+
+def test_shared_readers_coexist():
+    domain = HierarchicalDomain(children=3)
+    for child in ("child0", "child1", "child2"):
+        domain.access(child, 0x2000)
+    # Everyone keeps a shared replica; repeats are local.
+    for child in ("child0", "child1", "child2"):
+        domain.access(child, 0x2000)
+        assert domain.locals[child].local_hits == 1
+
+
+def test_shared_replica_insufficient_for_exclusive():
+    domain = HierarchicalDomain(children=1)
+    domain.access("child0", 0x3000)                    # shared
+    hit = domain.access("child0", 0x3000, exclusive=True)
+    assert not hit                                     # upgrade went global
+    assert domain.locals["child0"].global_requests == 2
+
+
+def test_owner_downgraded_by_reader():
+    domain = HierarchicalDomain(children=2)
+    domain.access("child0", 0x4000, exclusive=True)
+    domain.access("child1", 0x4000)                    # reader
+    # The ex-owner lost its exclusive replica.
+    assert domain.access("child0", 0x4000, exclusive=True) is False
+
+
+def test_traffic_savings_vs_flat_directory():
+    """The §VIII motivation: local agents absorb most coherence traffic
+    for locality-heavy workloads."""
+    domain = HierarchicalDomain(children=4)
+    accesses = 0
+    for round_ in range(50):
+        for i, child in enumerate(sorted(domain.locals)):
+            # Each child hammers its own working set.
+            domain.access(child, 0x10000 * (i + 1) + (round_ % 4) * 64)
+            accesses += 1
+    hierarchical = domain.total_fabric_messages
+    flat = domain.flat_equivalent_messages(accesses)
+    assert hierarchical < 0.2 * flat
+
+
+def test_invalid_child_count():
+    with pytest.raises(ValueError):
+        HierarchicalDomain(children=0)
+
+
+def test_global_agent_release():
+    agent = GlobalAgent()
+    agent.acquire("a", 0x1000, exclusive=True)
+    agent.release("a", 0x1000)
+    # A second exclusive from another child needs no invalidation.
+    invalidated, _msgs = agent.acquire("b", 0x1000, exclusive=True)
+    assert invalidated == set()

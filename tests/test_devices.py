@@ -1,0 +1,143 @@
+"""Tests for the device models: PMU, LSU, DMA engine, XPU."""
+
+import pytest
+
+from repro.calibration.microbench import CxlTestbench
+from repro.config import asic_system, fpga_system
+from repro.config.presets import ASIC_1500
+from repro.devices.dma import DmaEngine
+from repro.devices.pmu import Pmu
+from repro.devices.xpu import ProcessingElement, WorkItem, Xpu
+from repro.sim.engine import Simulator
+
+
+# ------------------------------- PMU ----------------------------------
+def test_pmu_latency_tracking():
+    pmu = Pmu()
+    pmu.issued(0, 100)
+    pmu.completed(0, 350)
+    assert pmu.latencies.median == 250
+    assert pmu.outstanding == 0
+
+
+def test_pmu_unknown_completion_rejected():
+    pmu = Pmu()
+    with pytest.raises(KeyError):
+        pmu.completed(7, 10)
+
+
+def test_pmu_bandwidth_from_issue():
+    pmu = Pmu()
+    for i in range(10):
+        pmu.issued(i, 0)
+    for i in range(10):
+        pmu.completed(i, (i + 1) * 1_000)
+    # 10 x 64B over 10ns = 64 GB/s.
+    assert pmu.bandwidth_gbps(64, from_issue=True) == pytest.approx(64.0)
+
+
+def test_pmu_bandwidth_needs_samples():
+    pmu = Pmu()
+    pmu.issued(0, 0)
+    pmu.completed(0, 10)
+    with pytest.raises(ValueError):
+        pmu.bandwidth_gbps(64)
+
+
+# ------------------------------- LSU ----------------------------------
+def test_lsu_hmc_hit_latency_exact():
+    tb = CxlTestbench(fpga_system())
+    report = tb.latency_hmc_hit(count=8, trials=2)
+    assert report.latencies.median == tb.config.device.hmc_hit_ps
+
+
+def test_lsu_latency_serializes_requests():
+    tb = CxlTestbench(fpga_system())
+    addrs = tb.lsu.sequential_lines(0x1000, 4)
+    tb.lsu.warm_hmc(addrs)
+    report = tb.lsu.run_latency(addrs)
+    # 4 serialized HMC hits: total time = 4 x hit latency.
+    assert tb.sim.now == 4 * tb.config.device.hmc_hit_ps
+
+
+def test_lsu_bandwidth_pipelines():
+    tb = CxlTestbench(asic_system())
+    report = tb.bandwidth_hmc_hit(count=512)
+    # Far beyond what serialized requests could reach (64B / 10ns = 6.4).
+    assert report.bandwidth_gbps > 50
+
+
+def test_lsu_exclusive_flag_propagates():
+    tb = CxlTestbench(fpga_system())
+    addrs = tb.lsu.sequential_lines(0x2000, 4)
+    tb.lsu.run_latency(addrs, exclusive=True)
+    from repro.cache.block import MesiState
+
+    assert tb.device.hmc.peek(0x2000).state is MesiState.EXCLUSIVE
+
+
+# ------------------------------- DMA ----------------------------------
+def test_dma_one_shot_latency_matches_model():
+    sim = Simulator()
+    config = fpga_system()
+    dma = DmaEngine(sim, config.dma)
+    report = dma.measure_latency(64, repeats=5)
+    assert report.latencies.median == config.dma.transfer_ps(64)
+
+
+def test_dma_latency_flat_below_8k():
+    config = fpga_system()
+    small = DmaEngine(Simulator(), config.dma).measure_latency(64, repeats=3)
+    mid = DmaEngine(Simulator(), config.dma).measure_latency(8192, repeats=3)
+    assert mid.median_ns / small.median_ns < 1.25  # setup dominates
+
+
+def test_dma_bandwidth_rises_with_size():
+    config = fpga_system()
+    bw64 = DmaEngine(Simulator(), config.dma).measure_bandwidth(64).bandwidth_gbps
+    bw256k = DmaEngine(Simulator(), config.dma).measure_bandwidth(262144, descriptors=64).bandwidth_gbps
+    assert bw64 < 1.0
+    assert bw256k > 20.0
+
+
+def test_dma_invalid_size():
+    dma = DmaEngine(Simulator(), fpga_system().dma)
+    with pytest.raises(ValueError):
+        dma.transfer(0)
+
+
+def test_dma_rmw_pair_serialized():
+    config = asic_system()
+    dma = DmaEngine(Simulator(), config.dma)
+    assert dma.rmw_pair_ps() == 2 * config.dma.transfer_ps(64)
+
+
+# ------------------------------- XPU ----------------------------------
+def test_pe_runs_serially():
+    sim = Simulator()
+    pe = ProcessingElement(sim, ASIC_1500, "pe0")
+    done = []
+    pe.submit(WorkItem(lambda: done.append(sim.now), compute_ps=100))
+    pe.submit(WorkItem(lambda: done.append(sim.now), compute_ps=100))
+    sim.run()
+    assert done == [100, 200]
+    assert pe.completed == 2
+    assert pe.idle
+
+
+def test_xpu_spreads_work():
+    sim = Simulator()
+    xpu = Xpu(sim, ASIC_1500, pe_count=2)
+    done = []
+    for i in range(4):
+        xpu.submit(WorkItem(lambda i=i: done.append(i), compute_ps=100))
+    sim.run()
+    assert sorted(done) == [0, 1, 2, 3]
+    assert xpu.completed == 4
+    # Work went to both PEs.
+    assert all(pe.completed == 2 for pe in xpu.pes)
+
+
+def test_xpu_needs_pes():
+    with pytest.raises(ValueError):
+        Xpu(Simulator(), ASIC_1500, pe_count=0)

@@ -1,0 +1,133 @@
+"""Tests for the adaptive page migration policy."""
+
+import pytest
+
+from repro.kernel.ats import Atc
+from repro.kernel.hmm import Hmm
+from repro.kernel.migration import AdaptiveMigrator
+from repro.kernel.numa import NodeKind, NumaNode, NumaRegistry
+from repro.kernel.page_table import PAGE_SIZE, UnifiedPageTable
+from repro.mem.address import AddressRange
+
+
+def build(cpu_pages=16, xpu_pages=16, **kwargs):
+    pt = UnifiedPageTable()
+    reg = NumaRegistry()
+    reg.add(NumaNode(0, NodeKind.CPU, AddressRange(0, cpu_pages * PAGE_SIZE)))
+    reg.add(
+        NumaNode(
+            1,
+            NodeKind.XPU,
+            AddressRange(cpu_pages * PAGE_SIZE, (cpu_pages + xpu_pages) * PAGE_SIZE),
+        )
+    )
+    hmm = Hmm(pt, reg)
+    migrator = AdaptiveMigrator(hmm, **kwargs)
+    return pt, hmm, migrator
+
+
+def touch(pt, hmm, vaddr, node):
+    if pt.lookup(vaddr) is None:
+        pt.map(vaddr)
+    hmm.touch(vaddr, accessor_node=node)
+
+
+def test_page_follows_dominant_accessor():
+    pt, hmm, migrator = build(min_samples=8)
+    vaddr = 0x40000
+    touch(pt, hmm, vaddr, 0)          # first touch: CPU node
+    assert pt.entry(vaddr).node == 0
+    decision = None
+    for _ in range(20):
+        decision = migrator.record_access(vaddr, accessor_node=1) or decision
+    assert decision is not None
+    assert decision.from_node == 0 and decision.to_node == 1
+    assert pt.entry(vaddr).node == 1
+    assert migrator.migrations_performed == 1
+
+
+def test_local_traffic_never_migrates():
+    pt, hmm, migrator = build(min_samples=4)
+    vaddr = 0x40000
+    touch(pt, hmm, vaddr, 0)
+    for _ in range(50):
+        assert migrator.record_access(vaddr, accessor_node=0) is None
+    assert migrator.migrations_performed == 0
+
+
+def test_mixed_traffic_below_threshold_stays():
+    pt, hmm, migrator = build(min_samples=10, remote_share_threshold=0.75)
+    vaddr = 0x40000
+    touch(pt, hmm, vaddr, 0)
+    # 60/40 split: below the 75% threshold.
+    for i in range(40):
+        migrator.record_access(vaddr, accessor_node=1 if i % 5 < 3 else 0)
+    assert pt.entry(vaddr).node == 0
+    assert migrator.migrations_performed == 0
+
+
+def test_cooldown_prevents_ping_pong():
+    pt, hmm, migrator = build(min_samples=4, cooldown_samples=100)
+    vaddr = 0x40000
+    touch(pt, hmm, vaddr, 0)
+    for _ in range(8):
+        migrator.record_access(vaddr, accessor_node=1)
+    assert pt.entry(vaddr).node == 1
+    # Immediately reverse the traffic: cooldown absorbs it.
+    for _ in range(50):
+        migrator.record_access(vaddr, accessor_node=0)
+    assert pt.entry(vaddr).node == 1
+    assert migrator.migrations_performed == 1
+
+
+def test_migration_invalidates_atc():
+    pt, hmm, migrator = build(min_samples=4)
+    atc = Atc("dev.atc", hmm.iommu)
+    vaddr = 0x40000
+    touch(pt, hmm, vaddr, 0)
+    atc.translate(vaddr)
+    for _ in range(8):
+        migrator.record_access(vaddr, accessor_node=1)
+    assert vaddr not in atc
+
+
+def test_denied_when_target_full():
+    pt, hmm, migrator = build(xpu_pages=1, min_samples=4)
+    # Fill the single XPU frame with another page.
+    blocker = 0x90000
+    touch(pt, hmm, blocker, 1)
+    vaddr = 0x40000
+    touch(pt, hmm, vaddr, 0)
+    for _ in range(10):
+        migrator.record_access(vaddr, accessor_node=1)
+    assert pt.entry(vaddr).node == 0
+    assert migrator.migrations_denied >= 1
+
+
+def test_hot_pages_ranking():
+    pt, hmm, migrator = build(min_samples=1000)
+    hot, cold = 0x40000, 0x50000
+    touch(pt, hmm, hot, 0)
+    touch(pt, hmm, cold, 0)
+    for _ in range(30):
+        migrator.record_access(hot, 0)
+    migrator.record_access(cold, 0)
+    ranking = migrator.hot_pages(top=2)
+    assert ranking[0][0] == pt.entry(hot).vpn
+    assert ranking[0][1] == 30
+
+
+def test_invalid_threshold_rejected():
+    _pt, hmm, _m = build()
+    with pytest.raises(ValueError):
+        AdaptiveMigrator(hmm, remote_share_threshold=0.4)
+
+
+def test_access_profile():
+    pt, hmm, migrator = build(min_samples=1000)
+    vaddr = 0x40000
+    touch(pt, hmm, vaddr, 0)
+    migrator.record_access(vaddr, 0)
+    migrator.record_access(vaddr, 1)
+    migrator.record_access(vaddr, 1)
+    assert migrator.access_profile(vaddr) == {0: 1, 1: 2}

@@ -1,0 +1,47 @@
+"""Tests for the multi-channel memory controller."""
+
+import pytest
+
+from repro.config.system import DramParams
+from repro.mem.controller import MemoryController
+
+
+def test_channels_split_traffic():
+    ctrl = MemoryController(DramParams(), channels=2, seed=1)
+    t = 10_000_000
+    ctrl.access(0, t)
+    ctrl.access(64, t)
+    assert ctrl.channels[0].accesses == 1
+    assert ctrl.channels[1].accesses == 1
+
+
+def test_controller_ii_backpressure():
+    ctrl = MemoryController(DramParams(jitter_ps=0), channels=1, ii_ps=10_000, seed=1)
+    t = 10_000_000
+    first = ctrl.access(0, t)
+    second = ctrl.access(1 << 20, t)
+    # The second access waits one II before service.
+    assert second.latency_ps >= first.latency_ps + 10_000 - 1
+
+
+def test_latency_includes_wait():
+    ctrl = MemoryController(DramParams(jitter_ps=0), channels=1, ii_ps=5_000, seed=1)
+    t = 10_000_000
+    ctrl.access(0, t)
+    r = ctrl.access(2 << 20, t)
+    assert r.latency_ps >= 5_000
+
+
+def test_request_count():
+    ctrl = MemoryController(DramParams(), channels=2, seed=1)
+    for i in range(10):
+        ctrl.access(i * 64, 10_000_000)
+    assert ctrl.requests == 10
+
+
+def test_reset():
+    ctrl = MemoryController(DramParams(), channels=2, ii_ps=100, seed=1)
+    ctrl.access(0, 10_000_000)
+    ctrl.reset()
+    assert ctrl.requests == 0
+    assert all(ch.accesses == 0 for ch in ctrl.channels)

@@ -1,0 +1,57 @@
+"""Tests for the memory interface routing."""
+
+import pytest
+
+from repro.config.system import DramParams
+from repro.mem.address import AddressRange
+from repro.mem.controller import MemoryController
+from repro.mem.interface import MemoryInterface
+
+
+def build():
+    memif = MemoryInterface(oneway_ps=10_000)
+    host = MemoryController(DramParams(jitter_ps=0), channels=1, seed=1)
+    device = MemoryController(DramParams(jitter_ps=0), channels=1, seed=2)
+    memif.attach("host", AddressRange(0, 1 << 30, "host"), host)
+    memif.attach("device", AddressRange(1 << 30, 2 << 30, "hdm"), device)
+    return memif, host, device
+
+
+def test_routing_by_range():
+    memif, host, device = build()
+    assert memif.target_of(0x1000) == "host"
+    assert memif.target_of((1 << 30) + 64) == "device"
+    assert memif.target_of(5 << 30) is None
+
+
+def test_access_charges_both_hops():
+    memif, host, _device = build()
+    t = 10_000_000
+    latency = memif.access_ps(0, t)
+    assert latency >= 2 * 10_000 + DramParams().row_hit_ps
+
+
+def test_overlapping_attach_rejected():
+    memif, _h, _d = build()
+    other = MemoryController(DramParams(), channels=1)
+    with pytest.raises(ValueError):
+        memif.attach("bad", AddressRange(100, 200), other)
+
+
+def test_unmapped_access_raises():
+    memif, _h, _d = build()
+    with pytest.raises(LookupError):
+        memif.access_ps(5 << 30, 0)
+
+
+def test_targets_and_region():
+    memif, _h, _d = build()
+    assert set(memif.targets) == {"host", "device"}
+    assert memif.region("host").size == 1 << 30
+
+
+def test_routed_counter():
+    memif, _h, _d = build()
+    memif.access_ps(0, 10_000_000)
+    memif.access_ps((1 << 30) + 128, 10_000_000)
+    assert memif.routed == 2

@@ -1,0 +1,83 @@
+"""Tests for the device-memory technology presets."""
+
+import pytest
+
+from repro.mem.technologies import (
+    DDR4_3200,
+    DDR5_4400,
+    HBM2E,
+    NVM_OPTANE,
+    NvmBankModel,
+    TECHNOLOGIES,
+    make_controller,
+    nominal_read_ns,
+)
+
+
+def test_registry_complete():
+    assert set(TECHNOLOGIES) == {"ddr5", "ddr4", "hbm", "nvm"}
+
+
+def test_latency_ordering():
+    # DRAM-class reads are far faster than NVM.
+    assert nominal_read_ns("ddr5") < nominal_read_ns("nvm") / 3
+    assert nominal_read_ns("hbm") == pytest.approx(
+        HBM2E.closed_access_ps / 1000
+    )
+
+
+def test_hbm_occupancy_tiny():
+    # HBM's wide interface -> per-line burst far below DDR5's.
+    assert HBM2E.burst_ps < DDR5_4400.burst_ps / 3
+
+
+def test_nvm_no_refresh():
+    model = NvmBankModel(NVM_OPTANE, seed=1)
+    r = model.access(0, now_ps=0)
+    assert not r.refresh_collision
+
+
+def test_nvm_write_slower_than_read():
+    model = NvmBankModel(NVM_OPTANE, write_multiplier=3.0, seed=1)
+    read = model.access(1 << 20, now_ps=0).latency_ps
+    write = model.write(2 << 20, now_ps=0).latency_ps
+    assert write > 2 * read * 0.8  # ~3x media occupancy
+    assert model.writes == 1
+
+
+def test_nvm_write_blocks_bank():
+    model = NvmBankModel(NVM_OPTANE, write_multiplier=4.0, seed=1)
+    w = model.write(0, now_ps=0)
+    # A read right behind the write on the same bank waits it out.
+    r = model.access(0, now_ps=0)
+    assert r.latency_ps > w.latency_ps
+
+
+def test_nvm_multiplier_validated():
+    with pytest.raises(ValueError):
+        NvmBankModel(NVM_OPTANE, write_multiplier=0.5)
+
+
+def test_make_controller():
+    ctrl = make_controller("hbm", channels=2)
+    assert len(ctrl.channels) == 2
+    with pytest.raises(ValueError):
+        make_controller("sram")
+
+
+def test_technology_throughput_ordering():
+    """Pipelined line streams: HBM >> DDR5 > DDR4."""
+
+    def lines_per_us(tech):
+        ctrl = make_controller(tech, channels=1, seed=7)
+        t = 0
+        params = TECHNOLOGIES[tech]
+        start = params.trfc_ps + 1000
+        done = start
+        for i in range(256):
+            r = ctrl.access(i * 64, start)
+            done = max(done, start + r.latency_ps)
+        window = done - start
+        return 256 / (window / 1e6)
+
+    assert lines_per_us("hbm") > lines_per_us("ddr5") > lines_per_us("ddr4") * 0.99

@@ -1,0 +1,100 @@
+"""Tests for the multi-stride prefetcher and prefetch buffer."""
+
+import pytest
+
+from repro.nic.prefetcher import MultiStridePrefetcher, PrefetchBuffer, StrideEntry
+
+
+def test_needs_training_before_prefetching():
+    pf = MultiStridePrefetcher(train_threshold=2, degree=2)
+    assert pf.observe_miss(0x1000) == []        # insert
+    assert pf.observe_miss(0x1040) == []        # stride learned, conf 1
+    out = pf.observe_miss(0x1080)               # conf 2 -> fire
+    assert out == [0x10C0, 0x1100]
+
+
+def test_stride_change_resets_confidence():
+    pf = MultiStridePrefetcher(train_threshold=2, degree=1)
+    pf.observe_miss(0x1000)
+    pf.observe_miss(0x1040)
+    assert pf.observe_miss(0x10C0) == []   # stride changed 64 -> 128
+    assert pf.observe_miss(0x1140) == [0x11C0]  # 128 stride confirmed
+
+
+def test_multiple_streams_tracked_independently():
+    pf = MultiStridePrefetcher(train_threshold=2, degree=1, match_window=512)
+    stream_a = [0x1000, 0x1040, 0x1080]
+    stream_b = [0x9000, 0x9100, 0x9200]
+    fired = []
+    for a, b in zip(stream_a, stream_b):
+        fired += pf.observe_miss(a)
+        fired += pf.observe_miss(b)
+    assert 0x10C0 in fired   # stream A, stride 64
+    assert 0x9300 in fired   # stream B, stride 256
+
+
+def test_far_misses_do_not_match():
+    pf = MultiStridePrefetcher(match_window=1024)
+    pf.observe_miss(0x1000)
+    pf.observe_miss(0x100000)  # new stream, no stride pairing
+    assert pf.prefetches_issued == 0
+
+
+def test_zero_stride_ignored():
+    pf = MultiStridePrefetcher(train_threshold=1)
+    pf.observe_miss(0x1000)
+    assert pf.observe_miss(0x1000) == []
+
+
+def test_table_capacity_evicts_oldest():
+    pf = MultiStridePrefetcher(table_entries=1, match_window=256)
+    pf.observe_miss(0x1000)
+    pf.observe_miss(0x9000)   # evicts the 0x1000 stream
+    assert pf.observe_miss(0x1040) == []  # old stream forgotten
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        MultiStridePrefetcher(degree=0)
+
+
+def test_reset():
+    pf = MultiStridePrefetcher()
+    pf.observe_miss(0x1000)
+    pf.reset()
+    assert pf.misses_observed == 0
+
+
+# --------------------------- PrefetchBuffer ---------------------------
+def test_buffer_residual_full_arrival():
+    buf = PrefetchBuffer()
+    buf.issue(0x1000, now_ps=0, latency_ps=100)
+    assert buf.residual_ps(0x1000, now_ps=200, miss_ps=100) == 0
+    # Entry consumed.
+    assert buf.residual_ps(0x1000, now_ps=300, miss_ps=100) is None
+
+
+def test_buffer_residual_partial():
+    buf = PrefetchBuffer()
+    buf.issue(0x1000, now_ps=0, latency_ps=100)
+    assert buf.residual_ps(0x1000, now_ps=40, miss_ps=100) == 60
+
+
+def test_buffer_residual_capped_at_miss():
+    buf = PrefetchBuffer()
+    buf.issue(0x1000, now_ps=0, latency_ps=500)
+    assert buf.residual_ps(0x1000, now_ps=0, miss_ps=100) == 100
+
+
+def test_buffer_reissue_keeps_earliest():
+    buf = PrefetchBuffer()
+    buf.issue(0x1000, now_ps=0, latency_ps=100)
+    buf.issue(0x1000, now_ps=50, latency_ps=100)
+    assert buf.residual_ps(0x1000, now_ps=100, miss_ps=200) == 0
+
+
+def test_buffer_outstanding():
+    buf = PrefetchBuffer()
+    buf.issue(0x1000, 0, 10)
+    buf.issue(0x2000, 0, 10)
+    assert buf.outstanding == 2

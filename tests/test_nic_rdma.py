@@ -1,0 +1,46 @@
+"""Tests for the RDMA fabric request source."""
+
+import pytest
+
+from repro.nic.rdma import RdmaFabric
+from repro.sim.engine import Simulator
+
+
+def test_delivery_latency():
+    sim = Simulator()
+    fabric = RdmaFabric(sim, nodes=2, latency_ps=1_000_000)
+    got = []
+    fabric.send(1, "req", lambda p: got.append((p, sim.now)))
+    sim.run()
+    assert got == [("req", 1_000_000)]
+
+
+def test_per_port_serialization():
+    sim = Simulator()
+    fabric = RdmaFabric(sim, nodes=1, latency_ps=100, message_gap_ps=50)
+    times = []
+    fabric.send(1, "a", lambda p: times.append(sim.now))
+    fabric.send(1, "b", lambda p: times.append(sim.now))
+    sim.run()
+    assert times == [100, 150]
+
+
+def test_broadcast_round_robin():
+    sim = Simulator()
+    fabric = RdmaFabric(sim, nodes=4, latency_ps=10, message_gap_ps=0)
+    got = []
+    fabric.broadcast_stream(list(range(8)), got.append)
+    sim.run()
+    assert sorted(got) == list(range(8))
+    assert fabric.messages == 8
+
+
+def test_unknown_source_rejected():
+    fabric = RdmaFabric(Simulator(), nodes=2)
+    with pytest.raises(ValueError):
+        fabric.send(99, "x", lambda p: None)
+
+
+def test_needs_nodes():
+    with pytest.raises(ValueError):
+        RdmaFabric(Simulator(), nodes=0)

@@ -1,0 +1,164 @@
+"""Property-based tests on core data structures and invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.array import CacheArray
+from repro.cache.block import MesiState
+from repro.kernel.page_table import PAGE_SIZE, UnifiedPageTable
+from repro.mem.address import CACHELINE, Interleaver
+from repro.rao.ops import MASK64, AtomicOp, apply_atomic
+from repro.sim.engine import Simulator
+
+
+# --------------------------- Event engine -----------------------------
+@settings(max_examples=60)
+@given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=60))
+def test_engine_fires_in_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(d))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 1_000), st.booleans()),
+        max_size=40,
+    )
+)
+def test_engine_cancelled_events_never_fire(spec):
+    sim = Simulator()
+    fired = []
+    live = 0
+    for delay, cancel in spec:
+        event = sim.schedule(delay, lambda d=delay: fired.append(d))
+        if cancel:
+            event.cancel()
+        else:
+            live += 1
+    sim.run()
+    assert len(fired) == live
+
+
+# --------------------------- Interleaver ------------------------------
+@settings(max_examples=80)
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=(1 << 40) - 1),
+)
+def test_interleaver_bijection(channels, addr):
+    inter = Interleaver(channels)
+    channel, local = inter.map(addr)
+    assert 0 <= channel < channels
+    assert inter.unmap(channel, local) == addr
+
+
+@settings(max_examples=30)
+@given(st.integers(min_value=2, max_value=4))
+def test_interleaver_balances_lines(channels):
+    inter = Interleaver(channels)
+    counts = [0] * channels
+    for i in range(channels * 50):
+        counts[inter.map(i * CACHELINE)[0]] += 1
+    assert max(counts) == min(counts)
+
+
+# --------------------------- Cache array ------------------------------
+addr_lists = st.lists(
+    st.integers(min_value=0, max_value=255).map(lambda i: i * CACHELINE),
+    min_size=1,
+    max_size=120,
+)
+
+
+@settings(max_examples=60)
+@given(addr_lists)
+def test_cache_array_never_exceeds_capacity(addrs):
+    arr = CacheArray(size=1024, ways=2)  # 16 lines
+    for addr in addrs:
+        arr.insert(addr, MesiState.EXCLUSIVE)
+        assert arr.occupancy <= 16
+    # No duplicate tags within any set.
+    seen = set()
+    for line_addr, _block in arr.blocks():
+        assert line_addr not in seen
+        seen.add(line_addr)
+
+
+@settings(max_examples=60)
+@given(addr_lists)
+def test_cache_array_inserted_line_is_present(addrs):
+    arr = CacheArray(size=1024, ways=2)
+    for addr in addrs:
+        arr.insert(addr, MesiState.SHARED)
+        assert arr.peek(addr) is not None
+
+
+@settings(max_examples=40)
+@given(addr_lists, st.randoms(use_true_random=False))
+def test_cache_array_eviction_victim_was_resident(addrs, rng):
+    arr = CacheArray(size=512, ways=2)  # 8 lines
+    resident = set()
+    for addr in addrs:
+        _block, victim = arr.insert(addr, MesiState.EXCLUSIVE)
+        if victim is not None:
+            victim_addr, _vb = victim
+            assert victim_addr in resident
+            resident.discard(victim_addr)
+        resident.add(addr)
+
+
+# --------------------------- Page table -------------------------------
+@settings(max_examples=40)
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=63),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_page_table_translate_consistent(vpns):
+    pt = UnifiedPageTable()
+    mapped = {}
+    next_pfn = 100
+    for vpn in vpns:
+        vaddr = vpn * PAGE_SIZE
+        if vpn not in mapped:
+            pt.map(vaddr)
+            pt.assign_frame(vaddr, next_pfn, node=0)
+            mapped[vpn] = next_pfn
+            next_pfn += 1
+        assert pt.translate(vaddr + 7) == mapped[vpn] * PAGE_SIZE + 7
+
+
+# ------------------------------ Atomics -------------------------------
+@settings(max_examples=80)
+@given(
+    st.sampled_from([AtomicOp.FAA, AtomicOp.SWAP, AtomicOp.FETCH_AND_OR,
+                     AtomicOp.FETCH_AND_AND, AtomicOp.FETCH_AND_XOR]),
+    st.integers(min_value=0, max_value=MASK64),
+    st.integers(min_value=0, max_value=MASK64),
+)
+def test_atomics_stay_in_64_bits_and_fetch_old(op, current, operand):
+    new, old = apply_atomic(op, current, operand)
+    assert 0 <= new <= MASK64
+    assert old == current
+
+
+@settings(max_examples=50)
+@given(
+    st.integers(min_value=0, max_value=255),
+    st.lists(st.integers(min_value=0, max_value=MASK64), max_size=30),
+)
+def test_faa_sequence_equals_sum(start, operands):
+    value = start
+    for operand in operands:
+        value, _ = apply_atomic(AtomicOp.FAA, value, operand)
+    assert value == (start + sum(operands)) & MASK64

@@ -1,0 +1,98 @@
+"""Tests for atomic op semantics and CircusTent workload generation."""
+
+import pytest
+
+from repro.rao.circustent import (
+    CIRCUSTENT_PATTERNS,
+    ELEMENT,
+    make_workload,
+)
+from repro.rao.ops import MASK64, AtomicOp, apply_atomic
+
+
+# ------------------------------- Ops ----------------------------------
+def test_faa():
+    new, old = apply_atomic(AtomicOp.FAA, 10, 5)
+    assert (new, old) == (15, 10)
+
+
+def test_faa_wraps_at_64_bits():
+    new, _old = apply_atomic(AtomicOp.FAA, MASK64, 1)
+    assert new == 0
+
+
+def test_cas_success_and_failure():
+    new, old = apply_atomic(AtomicOp.CAS, 7, 99, compare=7)
+    assert (new, old) == (99, 7)
+    new, old = apply_atomic(AtomicOp.CAS, 7, 99, compare=8)
+    assert (new, old) == (7, 7)
+
+
+def test_cas_requires_compare():
+    with pytest.raises(ValueError):
+        apply_atomic(AtomicOp.CAS, 1, 2)
+
+
+def test_swap_and_bitwise():
+    assert apply_atomic(AtomicOp.SWAP, 1, 2) == (2, 1)
+    assert apply_atomic(AtomicOp.FETCH_AND_OR, 0b0101, 0b0011) == (0b0111, 0b0101)
+    assert apply_atomic(AtomicOp.FETCH_AND_AND, 0b0101, 0b0011) == (0b0001, 0b0101)
+    assert apply_atomic(AtomicOp.FETCH_AND_XOR, 0b0101, 0b0011) == (0b0110, 0b0101)
+
+
+# ---------------------------- CircusTent -------------------------------
+def test_all_patterns_generate():
+    for pattern in CIRCUSTENT_PATTERNS:
+        wl = make_workload(pattern, ops=64)
+        assert len(wl) == 64
+
+
+def test_unknown_pattern_rejected():
+    with pytest.raises(ValueError):
+        make_workload("BOGUS")
+
+
+def test_central_targets_single_address():
+    wl = make_workload("CENTRAL", ops=32)
+    targets = {r.target for r in wl.requests}
+    assert len(targets) == 1
+
+
+def test_stride1_is_sequential():
+    wl = make_workload("STRIDE1", ops=32)
+    targets = [r.target for r in wl.requests]
+    deltas = {b - a for a, b in zip(targets, targets[1:])}
+    assert deltas == {ELEMENT}
+
+
+def test_rand_spreads_addresses():
+    wl = make_workload("RAND", ops=256, table_bytes=1 << 30)
+    assert len({r.target for r in wl.requests}) > 250
+
+
+def test_gather_has_sequential_index_reads():
+    wl = make_workload("GATHER", ops=16)
+    reads = [r.reads[0] for r in wl.requests]
+    deltas = {b - a for a, b in zip(reads, reads[1:])}
+    assert deltas == {ELEMENT}
+    assert all(len(r.reads) == 1 for r in wl.requests)
+
+
+def test_sg_has_three_reads():
+    wl = make_workload("SG", ops=16)
+    assert all(len(r.reads) == 3 for r in wl.requests)
+
+
+def test_workload_deterministic_by_seed():
+    a = make_workload("RAND", ops=32, seed=5)
+    b = make_workload("RAND", ops=32, seed=5)
+    assert [r.target for r in a.requests] == [r.target for r in b.requests]
+    c = make_workload("RAND", ops=32, seed=6)
+    assert [r.target for r in a.requests] != [r.target for r in c.requests]
+
+
+def test_targets_stay_in_table():
+    wl = make_workload("RAND", ops=128, table_bytes=1 << 20)
+    base = 0x4000_0000
+    for r in wl.requests:
+        assert base <= r.target < base + (1 << 20)

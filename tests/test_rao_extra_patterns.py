@@ -1,0 +1,55 @@
+"""Tests for the extra CircusTent patterns (STRIDEN, PTRCHASE)."""
+
+import pytest
+
+from repro.config import asic_system
+from repro.rao.circustent import ELEMENT, EXTRA_PATTERNS, make_workload
+from repro.rao.harness import run_rao_comparison
+
+
+def test_striden_spacing():
+    wl = make_workload("STRIDEN", ops=16, stride_elements=8)
+    targets = [r.target for r in wl.requests]
+    deltas = {b - a for a, b in zip(targets, targets[1:])}
+    assert deltas == {8 * ELEMENT}
+
+
+def test_striden_invalid_stride():
+    with pytest.raises(ValueError):
+        make_workload("STRIDEN", ops=4, stride_elements=0)
+
+
+def test_ptrchase_is_a_chain():
+    wl = make_workload("PTRCHASE", ops=64)
+    # Each request reads the previous request's target (pointer chase).
+    for prev, cur in zip(wl.requests, wl.requests[1:]):
+        assert cur.reads == [prev.target]
+
+
+def test_ptrchase_spreads_over_table():
+    wl = make_workload("PTRCHASE", ops=256, table_bytes=1 << 28)
+    assert len({r.target for r in wl.requests}) > 200
+
+
+def test_stride_hit_rate_falls_with_stride():
+    """Stride 1 reuses 8 of 8 slots per line; stride >= 8 reuses none."""
+    config = asic_system()
+    dense = run_rao_comparison(config, patterns=("STRIDE1",), ops=512)["STRIDE1"]
+    sparse_results = run_rao_comparison(
+        config, patterns=("STRIDEN",), ops=512
+    )
+    sparse = sparse_results["STRIDEN"]
+    assert dense.cxl_hit_rate > 0.8
+    assert sparse.cxl_hit_rate < 0.1
+    assert dense.speedup > sparse.speedup
+
+
+def test_ptrchase_speedup_near_rand_floor():
+    """Serial pointer chasing gets no caching help, like RAND —
+    but still beats PCIe (fine-grained coherent loads vs. ordered DMA)."""
+    config = asic_system()
+    results = run_rao_comparison(config, patterns=("PTRCHASE", "RAND"), ops=512)
+    assert results["PTRCHASE"].speedup > 1
+    # Within ~3x of RAND: both are miss-dominated.
+    ratio = results["PTRCHASE"].speedup / results["RAND"].speedup
+    assert 0.4 < ratio < 3.0

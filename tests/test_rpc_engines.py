@@ -1,0 +1,99 @@
+"""Tests for the hardware (de)serializer engines."""
+
+import pytest
+
+from repro.config import asic_system
+from repro.mem.address import CACHELINE
+from repro.rpc.engines import HwDeserializer, HwSerializer
+from repro.rpc.hyperprotobench import make_bench
+from repro.rpc.message import encode_message
+from repro.rpc.schema import SchemaTable
+from repro.rpc.wire import WireError
+
+
+def engine_pair(bench_name="Bench1"):
+    bench = make_bench(bench_name, messages=3)
+    params = asic_system().rpc
+    deser = HwDeserializer(params, bench.table)
+    ser = HwSerializer(params, bench.table)
+    return bench, deser, ser
+
+
+def test_decode_matches_reference_decoder():
+    bench, deser, _ser = engine_pair()
+    for value, wire in zip(bench.values, bench.encoded):
+        decoded, _events = deser.decode(0, wire)
+        assert decoded == value
+
+
+def test_field_events_cover_all_scalars():
+    bench, deser, _ser = engine_pair()
+    stats = bench.stats[0]
+    _value, events = deser.decode(0, bench.encoded[0])
+    scalar_events = [e for e in events if e.kind != "message"]
+    nested_events = [e for e in events if e.kind == "message"]
+    assert len(scalar_events) == stats.scalar_fields
+    assert len(nested_events) == stats.nested_messages
+
+
+def test_event_offsets_are_monotone_within_block():
+    bench, deser, _ser = engine_pair()
+    _value, events = deser.decode(0, bench.encoded[0])
+    top_level = [e for e in events if e.depth == 0 and e.kind != "message"]
+    offsets = [e.wire_offset for e in top_level]
+    assert offsets == sorted(offsets)
+
+
+def test_event_costs_positive_and_sum_sensibly():
+    bench, deser, _ser = engine_pair()
+    params = asic_system().rpc
+    _value, events = deser.decode(0, bench.encoded[0])
+    assert all(e.cost_ps > 0 for e in events)
+    total = sum(e.cost_ps for e in events)
+    stats = bench.stats[0]
+    expected_floor = params.decode_field_ps * stats.scalar_fields
+    assert total >= expected_floor
+
+
+def test_deep_nesting_depth_recorded():
+    bench, deser, _ser = engine_pair("Bench2")
+    _value, events = deser.decode(0, bench.encoded[0])
+    assert max(e.depth for e in events) >= 10
+
+
+def test_ncp_plan_unique_ordered_lines():
+    bench, deser, _ser = engine_pair("Bench5")
+    _value, events = deser.decode(0, bench.encoded[0])
+    lines = deser.ncp_plan(events)
+    assert len(lines) == len(set(lines))
+    assert all(line % CACHELINE == 0 for line in lines)
+    # Roughly one line per 64 decoded bytes.
+    assert len(lines) >= bench.stats[0].wire_bytes // CACHELINE // 2
+
+
+def test_corrupt_wire_raises():
+    bench, deser, _ser = engine_pair()
+    with pytest.raises((WireError, KeyError)):
+        deser.decode(0, bench.encoded[0][:-2])
+
+
+def test_serializer_events_and_wire_match():
+    bench, _deser, ser = engine_pair()
+    wire, events = ser.encode(0, bench.values[0])
+    assert wire == bench.encoded[0]
+    assert ser.fields_encoded == bench.stats[0].scalar_fields
+    # Nested blocks are encoded depth-first: inner fields precede the
+    # enclosing message event.
+    nested_positions = [i for i, e in enumerate(events) if e.kind == "message"]
+    assert nested_positions, "expected nested message events"
+    first_nested = nested_positions[0]
+    inner_before = [e for e in events[:first_nested] if e.depth > 0]
+    assert inner_before
+
+
+def test_engine_counters():
+    bench, deser, _ser = engine_pair()
+    for wire in bench.encoded:
+        deser.decode(0, wire)
+    assert deser.fields_decoded == sum(s.scalar_fields for s in bench.stats)
+    assert deser.bytes_decoded > 0

@@ -1,0 +1,151 @@
+"""Tests for schema-driven message encode/decode and stats."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rpc.message import (
+    decode_message,
+    encode_message,
+    generate_message,
+    message_stats,
+)
+from repro.rpc.schema import FieldDescriptor, FieldKind, MessageSchema, SchemaTable
+from repro.rpc.wire import WireError
+
+
+INNER = MessageSchema(
+    "Inner",
+    (
+        FieldDescriptor(1, "id", FieldKind.UINT),
+        FieldDescriptor(2, "delta", FieldKind.SINT),
+    ),
+)
+
+ROOT = MessageSchema(
+    "Root",
+    (
+        FieldDescriptor(1, "id", FieldKind.UINT),
+        FieldDescriptor(2, "name", FieldKind.STRING),
+        FieldDescriptor(3, "score", FieldKind.DOUBLE),
+        FieldDescriptor(4, "blob", FieldKind.BYTES),
+        FieldDescriptor(5, "inner", FieldKind.MESSAGE, INNER),
+    ),
+)
+
+
+def test_roundtrip_full_message():
+    value = {
+        "id": 42,
+        "name": "cohet",
+        "score": 3.25,
+        "blob": b"\x00\x01\x02",
+        "inner": {"id": 7, "delta": -19},
+    }
+    assert decode_message(ROOT, encode_message(ROOT, value)) == value
+
+
+def test_absent_fields_skipped():
+    value = {"id": 1}
+    wire = encode_message(ROOT, value)
+    assert decode_message(ROOT, wire) == value
+
+
+def test_unknown_field_rejected():
+    other = MessageSchema("X", (FieldDescriptor(99, "x", FieldKind.UINT),))
+    wire = encode_message(other, {"x": 1})
+    with pytest.raises(KeyError):
+        decode_message(ROOT, wire)
+
+
+def test_wire_type_mismatch_rejected():
+    # Encode field 1 (uint in ROOT) as length-delimited.
+    bad_schema = MessageSchema("Bad", (FieldDescriptor(1, "id", FieldKind.STRING),))
+    wire = encode_message(bad_schema, {"id": "oops"})
+    with pytest.raises(WireError):
+        decode_message(ROOT, wire)
+
+
+def test_duplicate_field_numbers_rejected():
+    with pytest.raises(ValueError):
+        MessageSchema(
+            "Dup",
+            (
+                FieldDescriptor(1, "a", FieldKind.UINT),
+                FieldDescriptor(1, "b", FieldKind.UINT),
+            ),
+        )
+
+
+def test_message_kind_needs_schema():
+    with pytest.raises(ValueError):
+        FieldDescriptor(1, "x", FieldKind.MESSAGE)
+    with pytest.raises(ValueError):
+        FieldDescriptor(1, "x", FieldKind.UINT, INNER)
+
+
+def test_stats_counts():
+    value = {
+        "id": 1,
+        "name": "ab",
+        "score": 1.0,
+        "blob": b"xy",
+        "inner": {"id": 2, "delta": 3},
+    }
+    stats = message_stats(ROOT, value)
+    assert stats.scalar_fields == 6
+    assert stats.nested_messages == 1
+    assert stats.max_depth == 1
+    assert stats.wire_bytes == len(encode_message(ROOT, value))
+
+
+def test_generate_message_fills_all_fields():
+    value = generate_message(ROOT, random.Random(3))
+    assert set(value) == {"id", "name", "score", "blob", "inner"}
+    assert decode_message(ROOT, encode_message(ROOT, value)) == value
+
+
+def test_schema_table():
+    table = SchemaTable()
+    table.load(1, ROOT)
+    assert table.lookup(1) is ROOT
+    assert table.lookups == 1
+    with pytest.raises(ValueError):
+        table.load(1, INNER)
+    with pytest.raises(KeyError):
+        table.lookup(2)
+    assert len(table) == 1
+
+
+def test_schema_recursive_counts():
+    assert ROOT.scalar_field_count() == 6
+    assert ROOT.nested_message_count() == 1
+    assert ROOT.max_depth() == 1
+    assert INNER.max_depth() == 0
+
+
+@settings(max_examples=50)
+@given(
+    st.fixed_dictionaries(
+        {},
+        optional={
+            "id": st.integers(min_value=0, max_value=(1 << 64) - 1),
+            "name": st.text(max_size=40),
+            "score": st.floats(allow_nan=False, allow_infinity=False),
+            "blob": st.binary(max_size=60),
+            "inner": st.fixed_dictionaries(
+                {},
+                optional={
+                    "id": st.integers(min_value=0, max_value=(1 << 64) - 1),
+                    "delta": st.integers(
+                        min_value=-(1 << 63), max_value=(1 << 63) - 1
+                    ),
+                },
+            ),
+        },
+    )
+)
+def test_roundtrip_property(value):
+    assert decode_message(ROOT, encode_message(ROOT, value)) == value

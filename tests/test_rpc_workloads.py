@@ -1,0 +1,145 @@
+"""Tests for HyperProtoBench profiles, layouts, and the RPC pipelines."""
+
+import pytest
+
+from repro.config import asic_system
+from repro.rpc.cxl_rpc import CxlRpcPipeline
+from repro.rpc.hyperprotobench import BENCH_NAMES, make_bench
+from repro.rpc.layout import (
+    FIELDS_PER_DESCRIPTOR,
+    SlabAllocator,
+    UnitKind,
+    layout_message,
+)
+from repro.rpc.message import decode_message
+from repro.rpc.rpcnic import RpcNicPipeline, decode_time_ps, encode_time_ps
+
+
+# --------------------------- Bench profiles ---------------------------
+def test_all_benches_build():
+    for name in BENCH_NAMES:
+        bench = make_bench(name, messages=5)
+        assert len(bench) == 5
+        assert len(bench.encoded) == 5
+
+
+def test_unknown_bench_rejected():
+    with pytest.raises(ValueError):
+        make_bench("Bench9")
+
+
+def test_bench_wire_bytes_decode():
+    bench = make_bench("Bench0", messages=3)
+    for value, wire in zip(bench.values, bench.encoded):
+        assert decode_message(bench.schema, wire) == value
+
+
+def test_bench1_small_fields_profile():
+    b1 = make_bench("Bench1", messages=10)
+    assert b1.mean_wire_bytes < 250
+    assert b1.mean_fields >= 25
+
+
+def test_bench2_deeply_nested():
+    b2 = make_bench("Bench2", messages=5)
+    assert b2.stats[0].max_depth >= 10
+    assert b2.mean_nested >= 10
+
+
+def test_bench5_large_strings():
+    b5 = make_bench("Bench5", messages=10)
+    assert b5.mean_wire_bytes > 2_000
+    assert b5.mean_fields < 15
+
+
+def test_bench_deterministic():
+    a = make_bench("Bench3", messages=4, seed=9)
+    b = make_bench("Bench3", messages=4, seed=9)
+    assert a.encoded == b.encoded
+
+
+# ------------------------------ Layout --------------------------------
+def test_layout_unit_counts():
+    bench = make_bench("Bench1", messages=1)
+    layout = layout_message(bench.schema, bench.values[0], SlabAllocator())
+    # Root + one nested block -> two pointer hops.
+    assert layout.count(UnitKind.HOP) == 2
+    expected_desc = 2 * -(-14 // FIELDS_PER_DESCRIPTOR)
+    assert layout.count(UnitKind.DESCRIPTOR) == expected_desc
+
+
+def test_layout_body_lines_track_string_bytes():
+    bench = make_bench("Bench5", messages=1)
+    layout = layout_message(bench.schema, bench.values[0], SlabAllocator())
+    body_bytes = sum(
+        len(v) for v in bench.values[0].values() if isinstance(v, str)
+    )
+    assert layout.count(UnitKind.BODY) >= body_bytes // 64 - 2
+
+
+def test_root_blocks_contiguous_nested_fragmented():
+    allocator = SlabAllocator(seed=1)
+    bench = make_bench("Bench1", messages=3)
+    layouts = [
+        layout_message(bench.schema, v, allocator) for v in bench.values
+    ]
+    roots = [l.units[0].addr for l in layouts]
+    stride = {b - a for a, b in zip(roots, roots[1:])}
+    assert len(stride) == 1  # slab: constant inter-message stride
+
+
+def test_deep_nesting_means_many_hops():
+    bench = make_bench("Bench2", messages=1)
+    layout = layout_message(bench.schema, bench.values[0], SlabAllocator())
+    assert layout.count(UnitKind.HOP) == 12  # root + 11 nested levels
+
+
+# ----------------------------- Pipelines ------------------------------
+def test_decode_encode_time_monotone_in_stats():
+    config = asic_system()
+    small = make_bench("Bench1", messages=1).stats[0]
+    large = make_bench("Bench5", messages=1).stats[0]
+    assert decode_time_ps(config.rpc, large) > decode_time_ps(config.rpc, small)
+    assert encode_time_ps(config.rpc, large) > encode_time_ps(config.rpc, small)
+
+
+def test_pipelines_verify_functionally():
+    config = asic_system()
+    bench = make_bench("Bench0", messages=10)
+    assert RpcNicPipeline(config).deserialize_bench(bench).verified
+    assert RpcNicPipeline(config).serialize_bench(bench).verified
+    cxl = CxlRpcPipeline(config)
+    assert cxl.deserialize_bench(bench).verified
+    assert cxl.serialize_bench_mem(bench).verified
+    assert cxl.serialize_bench_cache(bench).verified
+    assert cxl.serialize_bench_cache(bench, prefetch=True).verified
+
+
+def test_cxl_deserialize_faster_than_rpcnic():
+    config = asic_system()
+    for name in BENCH_NAMES:
+        bench = make_bench(name, messages=20)
+        rpc = RpcNicPipeline(config).deserialize_bench(bench)
+        cxl = CxlRpcPipeline(config).deserialize_bench(bench)
+        assert cxl.total_ps < rpc.total_ps, name
+
+
+def test_serialization_ordering_matches_paper():
+    """mem < cache+pf < cache < RpcNIC for every bench (Fig. 18b)."""
+    config = asic_system()
+    for name in BENCH_NAMES:
+        bench = make_bench(name, messages=30)
+        rpc = RpcNicPipeline(config).serialize_bench(bench).total_ps
+        cxl = CxlRpcPipeline(config)
+        mem = cxl.serialize_bench_mem(bench).total_ps
+        cache = cxl.serialize_bench_cache(bench).total_ps
+        cache_pf = cxl.serialize_bench_cache(bench, prefetch=True).total_ps
+        assert mem < cache_pf <= cache < rpc, name
+
+
+def test_rpcnic_flushes_scale_with_size():
+    config = asic_system()
+    pipeline = RpcNicPipeline(config)
+    small = pipeline.deserialize_bench(make_bench("Bench1", messages=5))
+    large = pipeline.deserialize_bench(make_bench("Bench5", messages=5))
+    assert large.mean_ps > small.mean_ps

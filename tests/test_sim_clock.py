@@ -1,0 +1,54 @@
+"""Tests for clock domains."""
+
+import pytest
+
+from repro.sim.clock import Clock, GHZ, MHZ, NS, US
+
+
+def test_period_helpers():
+    assert MHZ(400) == 2_500
+    assert GHZ(2.4) == 417
+    assert NS == 1_000
+    assert US == 1_000_000
+
+
+def test_clock_from_mhz():
+    clk = Clock.from_mhz(400)
+    assert clk.period_ps == 2_500
+    assert clk.cycles(46) == 115_000  # the FPGA HMC-hit path
+
+
+def test_clock_from_ghz():
+    clk = Clock.from_ghz(1.5)
+    assert clk.period_ps == 667
+    assert clk.cycles(15) == 10_005   # the ASIC HMC-hit path
+
+
+def test_invalid_period_rejected():
+    with pytest.raises(ValueError):
+        Clock(0)
+    with pytest.raises(ValueError):
+        Clock(-5)
+
+
+def test_to_cycles_roundtrip():
+    clk = Clock.from_mhz(400)
+    assert clk.to_cycles(clk.cycles(10)) == pytest.approx(10.0)
+
+
+def test_next_edge_alignment():
+    clk = Clock(2_500)
+    assert clk.next_edge(0) == 0
+    assert clk.next_edge(1) == 2_500
+    assert clk.next_edge(2_500) == 2_500
+    assert clk.next_edge(2_501) == 5_000
+
+
+def test_freq_ghz():
+    assert Clock(2_500).freq_ghz == pytest.approx(0.4)
+    assert Clock(667).freq_ghz == pytest.approx(1.4993, rel=1e-3)
+
+
+def test_fractional_cycles_round():
+    clk = Clock(667)
+    assert clk.cycles(1.5) == round(1.5 * 667)

@@ -1,0 +1,119 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0
+    assert sim.pending == 0
+
+
+def test_schedule_and_run_advances_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1_000, fired.append, "a")
+    sim.schedule(500, fired.append, "b")
+    executed = sim.run()
+    assert executed == 2
+    assert fired == ["b", "a"]
+    assert sim.now == 1_000
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(100, fired.append, i)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule_at(5_000, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5_000]
+
+
+def test_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(100, fired.append, "x")
+    event.cancel()
+    sim.run()
+    assert fired == []
+    assert sim.executed == 0
+
+
+def test_run_until_bound():
+    sim = Simulator()
+    fired = []
+    sim.schedule(100, fired.append, 1)
+    sim.schedule(200, fired.append, 2)
+    sim.schedule(300, fired.append, 3)
+    sim.run(until_ps=250)
+    assert fired == [1, 2]
+    assert sim.now == 250
+    sim.run()
+    assert fired == [1, 2, 3]
+
+
+def test_run_max_events():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(10 * (i + 1), fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 4:
+            sim.schedule(10, chain, n + 1)
+
+    sim.schedule(0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+    assert sim.now == 40
+
+
+def test_step_fires_exactly_one():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "a")
+    sim.schedule(20, fired.append, "b")
+    assert sim.step()
+    assert fired == ["a"]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_reset_clears_calendar():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    sim.reset()
+    assert sim.now == 0
+    assert sim.pending == 0
+    assert sim.executed == 0
+
+
+def test_run_until_with_empty_calendar_advances_clock():
+    sim = Simulator()
+    sim.run(until_ps=9_999)
+    assert sim.now == 9_999

@@ -1,0 +1,83 @@
+"""Tests for the activity trace log."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceLog, Tracer
+
+
+def test_emit_and_iterate():
+    log = TraceLog()
+    log.emit(100, "dcoh", "read", addr=0x40)
+    log.emit(200, "llc", "snoop", peer="l1")
+    assert len(log) == 2
+    assert [r.event for r in log] == ["read", "snoop"]
+
+
+def test_record_field_access():
+    log = TraceLog()
+    log.emit(1, "c", "e", a=1, b="x")
+    record = next(iter(log))
+    assert record.field("a") == 1
+    assert record.field("missing", 42) == 42
+
+
+def test_filter_by_component_event_window():
+    log = TraceLog()
+    for t in range(10):
+        log.emit(t * 100, "dcoh" if t % 2 else "llc", "tick", i=t)
+    assert len(log.filter(component="dcoh")) == 5
+    assert len(log.filter(since_ps=500, until_ps=700)) == 3
+    assert len(log.filter(predicate=lambda r: r.field("i") >= 8)) == 2
+    assert log.filter(event="nope") == []
+
+
+def test_counts_and_first():
+    log = TraceLog()
+    log.emit(0, "a", "x")
+    log.emit(1, "a", "y")
+    log.emit(2, "a", "x")
+    assert log.counts_by_event() == {"x": 2, "y": 1}
+    assert log.first("y").time_ps == 1
+    assert log.first("zz") is None
+
+
+def test_capacity_drops_excess():
+    log = TraceLog(capacity=2)
+    for i in range(5):
+        log.emit(i, "c", "e")
+    assert len(log) == 2
+    assert log.dropped == 3
+
+
+def test_disabled_log_is_silent():
+    log = TraceLog()
+    log.enabled = False
+    log.emit(0, "c", "e")
+    assert len(log) == 0
+
+
+def test_render_limits_output():
+    log = TraceLog()
+    for i in range(60):
+        log.emit(i, "c", "e")
+    text = log.render(limit=10)
+    assert "50 more" in text
+
+
+def test_tracer_uses_sim_clock():
+    sim = Simulator()
+    log = TraceLog()
+    tracer = Tracer(log, "dev", lambda: sim.now)
+    sim.schedule(500, lambda: tracer.emit("fired"))
+    sim.run()
+    assert log.first("fired").time_ps == 500
+    assert log.first("fired").component == "dev"
+
+
+def test_clear():
+    log = TraceLog(capacity=1)
+    log.emit(0, "c", "e")
+    log.emit(0, "c", "e")
+    log.clear()
+    assert len(log) == 0 and log.dropped == 0
