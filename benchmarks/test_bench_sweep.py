@@ -1,0 +1,31 @@
+"""Benchmark: the sweep orchestrator end-to-end (run + report)."""
+
+from types import SimpleNamespace
+
+from conftest import run_and_print
+
+from repro.experiments import RunReport, SweepSpec, run_sweep
+
+BENCH_SWEEP = {
+    "name": "bench",
+    "repeats": 2,
+    "experiments": [
+        {"experiment": "table1"},
+        {"experiment": "table2"},
+        {"experiment": "fig4"},
+        {"experiment": "fig13", "grid": {"trials": [2]}},
+    ],
+}
+
+
+def _sweep_and_report(out_dir):
+    outcome = run_sweep(SweepSpec.from_dict(BENCH_SWEEP), out_dir, jobs=2)
+    assert outcome.ok
+    report = RunReport(outcome.out_dir)
+    return SimpleNamespace(text=report.markdown(), outcome=outcome)
+
+
+def test_bench_sweep(benchmark, tmp_path):
+    result = run_and_print(benchmark, _sweep_and_report, tmp_path / "run")
+    assert result.outcome.total == 8
+    assert not result.outcome.failed

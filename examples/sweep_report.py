@@ -1,0 +1,57 @@
+"""Example: declarative sweeps, cached re-runs, and run comparison.
+
+Runs a small parameter sweep twice (the second invocation is served
+entirely from the result cache), prints the markdown report, then runs
+a variant sweep and renders the delta table between the two runs.
+
+Usage::
+
+    PYTHONPATH=src python examples/sweep_report.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.experiments import RunReport, SweepSpec, compare_runs, run_sweep
+
+BASE = {
+    "name": "example-base",
+    "experiments": [
+        {"experiment": "fig13", "grid": {"trials": [2, 3]}},
+        {"experiment": "fig18a", "params": {"messages": 20}},
+        {"experiment": "table1"},
+    ],
+}
+
+VARIANT = {
+    "name": "example-variant",
+    "experiments": [
+        {"experiment": "fig13", "grid": {"trials": [4]}},
+        {"experiment": "fig18a", "params": {"messages": 40}},
+    ],
+}
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        runs = Path(tmp)
+        base_dir = runs / "base"
+        variant_dir = runs / "variant"
+
+        outcome = run_sweep(SweepSpec.from_dict(BASE), base_dir, jobs=2,
+                            progress=print)
+        print(f"\nfirst pass: {outcome.total} specs, {outcome.cached} cached\n")
+
+        # Same sweep again: every spec hash is already in the store.
+        outcome = run_sweep(SweepSpec.from_dict(BASE), base_dir, jobs=2)
+        print(f"second pass: {outcome.total} specs, {outcome.cached} cached\n")
+
+        print(RunReport(base_dir).markdown())
+        print()
+
+        run_sweep(SweepSpec.from_dict(VARIANT), variant_dir, jobs=2)
+        print(compare_runs(base_dir, variant_dir))
+
+
+if __name__ == "__main__":
+    main()

@@ -3,15 +3,20 @@
 Usage::
 
     python -m repro list
-    python -m repro run fig17
+    python -m repro run fig13 fig15
     python -m repro run all --out results.txt
     python -m repro info
+    python -m repro sweep --preset quick --jobs 4
+    python -m repro sweep my_sweep.json --out runs/mine
+    python -m repro report runs/quick
+    python -m repro compare runs/a runs/b
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import IO, List, Optional
 
 from repro import __version__
@@ -19,19 +24,27 @@ from repro.harness.experiments import EXPERIMENTS, run_experiment
 
 
 def _cmd_list(_args: argparse.Namespace, out: IO[str]) -> int:
+    width = max(len(name) for name in EXPERIMENTS)
     out.write("available experiments:\n")
     for name in EXPERIMENTS:
-        doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
-        out.write(f"  {name:<9} {doc}\n")
+        doc = ((EXPERIMENTS[name].__doc__ or "").strip().splitlines() or [""])[0]
+        out.write(f"  {name:<{width}}  {doc}\n")
     return 0
 
 
 def _cmd_run(args: argparse.Namespace, out: IO[str]) -> int:
-    names: List[str] = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    names: List[str] = []
+    for name in args.experiments:
+        if name == "all":
+            names.extend(EXPERIMENTS)
+        else:
+            names.append(name)
+    names = list(dict.fromkeys(names))  # 'fig13 all' runs fig13 once
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
-        out.write(f"unknown experiment(s): {', '.join(unknown)}\n")
-        out.write(f"options: {', '.join(EXPERIMENTS)} or 'all'\n")
+        # Diagnostics go to the terminal, never into an --out file.
+        sys.stdout.write(f"unknown experiment(s): {', '.join(unknown)}\n")
+        sys.stdout.write(f"options: {', '.join(EXPERIMENTS)} or 'all'\n")
         return 2
     for name in names:
         result = run_experiment(name)
@@ -58,6 +71,86 @@ def _cmd_info(_args: argparse.Namespace, out: IO[str]) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace, out: IO[str]) -> int:
+    from repro.experiments import (
+        PRESETS,
+        SpecError,
+        SweepSpec,
+        preset_sweep,
+        run_sweep,
+    )
+
+    if bool(args.spec) == bool(args.preset):
+        out.write("sweep needs exactly one of: a spec file, or --preset NAME\n")
+        out.write(f"presets: {', '.join(sorted(PRESETS))}\n")
+        return 2
+    try:
+        if args.preset:
+            sweep = preset_sweep(args.preset)
+        else:
+            spec_path = Path(args.spec)
+            if not spec_path.is_file():
+                out.write(f"no such sweep spec file: {spec_path}\n")
+                return 2
+            sweep = SweepSpec.from_file(spec_path)
+    except (SpecError, KeyError) as exc:
+        # KeyError only reaches here from preset_sweep's unknown-preset
+        # path; internal errors inside run_sweep below propagate.
+        out.write(f"{exc.args[0] if exc.args else exc}\n")
+        return 2
+    out_dir = Path(args.out) if args.out else Path("runs") / sweep.name
+    try:
+        outcome = run_sweep(
+            sweep,
+            out_dir,
+            jobs=args.jobs,
+            force=args.force,
+            progress=lambda line: out.write(line + "\n"),
+        )
+    except SpecError as exc:
+        out.write(f"{exc}\n")
+        return 2
+    out.write(
+        f"sweep {sweep.name!r}: {outcome.total} specs — "
+        f"{len(outcome.executed) - len(outcome.failed)} ran ok, "
+        f"{outcome.cached} cached, {len(outcome.failed)} failed\n"
+    )
+    out.write(f"results: {outcome.out_dir}\n")
+    return 1 if outcome.failed else 0
+
+
+def _cmd_report(args: argparse.Namespace, out: IO[str]) -> int:
+    from repro.experiments import ResultStore, RunReport
+
+    store = ResultStore(args.run_dir)
+    if not store.exists():
+        out.write(f"no results found under {args.run_dir}\n")
+        return 2
+    report = RunReport(store)
+    out.write(report.markdown())
+    out.write("\n")
+    if report.failures:
+        out.write("\nfailures:\n")
+        for record in report.failures:
+            first = (record.error or "").strip().splitlines()
+            out.write(f"  {record.experiment} ({record.spec_hash}): "
+                      f"{first[-1] if first else 'unknown error'}\n")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace, out: IO[str]) -> int:
+    from repro.experiments import ResultStore, compare_runs
+
+    stores = [ResultStore(args.run_a), ResultStore(args.run_b)]
+    for store in stores:
+        if not store.exists():
+            out.write(f"no results found under {store.root}\n")
+            return 2
+    out.write(compare_runs(*stores))
+    out.write("\n")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -68,29 +161,59 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments")
 
-    run = sub.add_parser("run", help="run one experiment (or 'all')")
-    run.add_argument("experiment", help="experiment id (see 'list') or 'all'")
+    run = sub.add_parser("run", help="run one or more experiments (or 'all')")
+    run.add_argument(
+        "experiments", nargs="+", help="experiment id(s) (see 'list') or 'all'"
+    )
     run.add_argument("--out", help="write results to this file instead of stdout")
 
     sub.add_parser("info", help="show calibrated profile summaries")
+
+    sweep = sub.add_parser(
+        "sweep", help="run a parameter sweep in parallel, persisting results"
+    )
+    sweep.add_argument(
+        "spec", nargs="?", help="path to a sweep spec JSON file"
+    )
+    sweep.add_argument("--preset", help="built-in sweep preset (e.g. 'quick')")
+    sweep.add_argument(
+        "--out", help="run directory for results (default: runs/<sweep name>)"
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=None, help="parallel workers (default: auto)"
+    )
+    sweep.add_argument(
+        "--force", action="store_true", help="re-run specs even when cached"
+    )
+
+    report = sub.add_parser("report", help="summarise a stored sweep run")
+    report.add_argument("run_dir", help="run directory written by 'sweep'")
+
+    compare = sub.add_parser("compare", help="delta table between two stored runs")
+    compare.add_argument("run_a", help="baseline run directory")
+    compare.add_argument("run_b", help="comparison run directory")
     return parser
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "info": _cmd_info,
+    "sweep": _cmd_sweep,
+    "report": _cmd_report,
+    "compare": _cmd_compare,
+}
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     sink: IO[str] = sys.stdout
     close_sink = False
-    if getattr(args, "out", None):
+    if getattr(args, "out", None) and args.command == "run":
         sink = open(args.out, "w")
         close_sink = True
     try:
-        if args.command == "list":
-            return _cmd_list(args, sink)
-        if args.command == "run":
-            return _cmd_run(args, sink)
-        if args.command == "info":
-            return _cmd_info(args, sink)
-        raise AssertionError(f"unhandled command {args.command}")
+        return _COMMANDS[args.command](args, sink)
     finally:
         if close_sink:
             sink.close()

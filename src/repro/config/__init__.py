@@ -15,9 +15,11 @@ from repro.config.presets import (
     FPGA_400,
     PCIE_ASIC_1500,
     PCIE_FPGA_400,
+    SYSTEMS,
     asic_system,
     fpga_system,
     simcxl_table1_config,
+    system_by_name,
     testbed_table1_config,
 )
 
@@ -34,8 +36,10 @@ __all__ = [
     "ASIC_1500",
     "PCIE_FPGA_400",
     "PCIE_ASIC_1500",
+    "SYSTEMS",
     "fpga_system",
     "asic_system",
+    "system_by_name",
     "testbed_table1_config",
     "simcxl_table1_config",
 ]

@@ -132,6 +132,29 @@ def asic_system(name: str = "simcxl-asic") -> SystemConfig:
     )
 
 
+#: Short profile names accepted by experiment specs (``profile=...``).
+SYSTEMS = {
+    "fpga": fpga_system,
+    "asic": asic_system,
+}
+
+
+def system_by_name(profile: str) -> SystemConfig:
+    """Build a :class:`SystemConfig` from a short profile name.
+
+    Accepts the keys of :data:`SYSTEMS` (``"fpga"``/``"asic"``); used by
+    the experiment orchestration layer so sweep specs can select a
+    calibrated system with a plain JSON string.
+    """
+    try:
+        make = SYSTEMS[profile]
+    except KeyError:
+        raise KeyError(
+            f"unknown system profile {profile!r}; options: {sorted(SYSTEMS)}"
+        ) from None
+    return make()
+
+
 def testbed_table1_config() -> TestbedConfig:
     return TestbedConfig()
 

@@ -1,0 +1,45 @@
+"""Experiment orchestration: declarative sweeps, parallel execution,
+persistent results, and report generation.
+
+Layers (each its own module):
+
+* :mod:`repro.experiments.spec` — ``ExperimentSpec``/``SweepSpec``
+  declarative descriptions with grid expansion and content hashing.
+* :mod:`repro.experiments.runner` — multiprocessing sweep executor
+  with per-spec seeding, failure isolation, and a result cache.
+* :mod:`repro.experiments.store` — JSONL-backed ``ResultStore``
+  persisting every result with spec hash, wall time, git metadata.
+* :mod:`repro.experiments.report` — lazily-computed ``RunReport``
+  (per-experiment MAPE, markdown summaries) and run-vs-run deltas.
+* :mod:`repro.experiments.presets` — built-in sweeps (``quick``,
+  ``paper``).
+
+The CLI exposes the subsystem as ``repro sweep``, ``repro report``,
+and ``repro compare``.
+"""
+
+from repro.experiments.presets import PRESETS, preset_sweep
+from repro.experiments.report import RunReport, compare_runs
+from repro.experiments.runner import SweepOutcome, run_sweep
+from repro.experiments.spec import (
+    ExperimentSpec,
+    SpecError,
+    SweepGroup,
+    SweepSpec,
+)
+from repro.experiments.store import ResultStore, StoredResult
+
+__all__ = [
+    "PRESETS",
+    "preset_sweep",
+    "RunReport",
+    "compare_runs",
+    "SweepOutcome",
+    "run_sweep",
+    "ExperimentSpec",
+    "SpecError",
+    "SweepGroup",
+    "SweepSpec",
+    "ResultStore",
+    "StoredResult",
+]

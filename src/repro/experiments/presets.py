@@ -1,0 +1,62 @@
+"""Built-in sweep presets.
+
+``quick`` exercises the orchestrator end-to-end in a few seconds (used
+by CI smoke runs and the acceptance sweep); ``paper`` regenerates every
+table/figure at the paper's default fidelity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.spec import SweepSpec
+
+PRESETS: Dict[str, dict] = {
+    "quick": {
+        "name": "quick",
+        "repeats": 1,
+        "base_seed": 1234,
+        "experiments": [
+            {"experiment": "table1"},
+            {"experiment": "table2"},
+            {"experiment": "fig4"},
+            {"experiment": "fig12", "params": {"trials": 3}},
+            {"experiment": "fig13", "grid": {"trials": [2, 3]}},
+            {"experiment": "fig15"},
+            {"experiment": "fig17", "params": {"ops": 256}},
+            {"experiment": "fig18a", "params": {"messages": 20}},
+            {"experiment": "fig18b", "params": {"messages": 20}},
+        ],
+    },
+    "paper": {
+        "name": "paper",
+        "repeats": 1,
+        "base_seed": 1234,
+        "experiments": [
+            {"experiment": "table1"},
+            {"experiment": "table2"},
+            {"experiment": "fig4"},
+            {"experiment": "fig12"},
+            {"experiment": "fig13"},
+            {"experiment": "fig14"},
+            {"experiment": "fig15"},
+            {"experiment": "fig16"},
+            {"experiment": "fig17"},
+            {"experiment": "fig18a"},
+            {"experiment": "fig18b"},
+            {"experiment": "headline"},
+            {"experiment": "mape"},
+        ],
+    },
+}
+
+
+def preset_sweep(name: str) -> SweepSpec:
+    """Build the named preset's :class:`SweepSpec`."""
+    try:
+        data = PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown sweep preset {name!r}; options: {sorted(PRESETS)}"
+        ) from None
+    return SweepSpec.from_dict(data)

@@ -1,0 +1,247 @@
+"""Report generation over stored sweep runs.
+
+:class:`RunReport` wraps one run directory's :class:`ResultStore` and
+exposes analysis results as lazily-computed, memoised properties (the
+shape fuzzbench's ``ExperimentResults`` uses for template-driven
+reports): per-experiment calibration MAPE against the paper reference
+series, wall-time aggregates, failure lists, and a markdown summary
+table.  :func:`compare_runs` renders a markdown delta table (values
+and wall-time speedups) between two stored runs.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.calibration.metrics import series_mape
+from repro.experiments.store import ResultStore, StoredResult
+from repro.harness.tables import render_markdown_table
+
+_PAPER_PREFIXES = ("paper_", "paper:")
+
+
+def split_paper_series(
+    series: Mapping[str, object],
+) -> Tuple[Dict[str, object], Dict[str, object]]:
+    """Partition a result's series into (measured, paper-reference).
+
+    Experiments embed their reference data under ``paper_<name>`` or
+    ``paper:<name>`` keys mirroring a measured series ``<name>``; those
+    pairs are what calibration error is computed over.
+    """
+    measured: Dict[str, object] = {}
+    paper: Dict[str, object] = {}
+    for key, value in series.items():
+        for prefix in _PAPER_PREFIXES:
+            if key.startswith(prefix):
+                paper[key[len(prefix):]] = value
+                break
+        else:
+            if key == "paper":  # headline uses a bare "paper" column
+                paper.update(
+                    value if isinstance(value, Mapping) else {"paper": value}
+                )
+            else:
+                measured[key] = value
+    return measured, paper
+
+
+def result_mape(record: StoredResult) -> Optional[float]:
+    """Calibration MAPE for one stored result, or None without refs."""
+    measured, paper = split_paper_series(record.series)
+    if not paper:
+        return None
+    # A bare "paper" series (headline's shape) sits beside one measured
+    # block whose keys mirror the reference's — descend into it.
+    if len(measured) == 1 and not (
+        {str(k) for k in paper} & {str(k) for k in measured}
+    ):
+        (only,) = measured.values()
+        if isinstance(only, Mapping):
+            measured = only
+    try:
+        return series_mape(measured, paper)
+    except ValueError:
+        return None
+
+
+def numeric_series_means(series: Mapping[str, object]) -> Dict[str, float]:
+    """Mean of each measured series' numeric leaves (paper refs skipped)."""
+    measured, _ = split_paper_series(series)
+    means: Dict[str, float] = {}
+    for name, values in measured.items():
+        if isinstance(values, Mapping):
+            leaves = [
+                float(v) for v in values.values()
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            ]
+        elif isinstance(values, (int, float)) and not isinstance(values, bool):
+            leaves = [float(values)]
+        else:
+            leaves = []
+        if leaves:
+            means[name] = sum(leaves) / len(leaves)
+    return means
+
+
+class RunReport:
+    """Lazily-computed analysis over one stored sweep run."""
+
+    def __init__(self, store: Union[ResultStore, str, Path]):
+        if not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self.store = store
+        self.name = store.root.name
+
+    @cached_property
+    def records(self) -> List[StoredResult]:
+        """Newest record per spec, stable order (experiment, hash)."""
+        return sorted(
+            self.store.latest().values(),
+            key=lambda r: (r.experiment, r.spec_hash),
+        )
+
+    @cached_property
+    def ok_records(self) -> List[StoredResult]:
+        return [r for r in self.records if r.ok]
+
+    @cached_property
+    def failures(self) -> List[StoredResult]:
+        return [r for r in self.records if not r.ok]
+
+    @cached_property
+    def experiments(self) -> List[str]:
+        return sorted({r.experiment for r in self.records})
+
+    @cached_property
+    def mape_by_experiment(self) -> Dict[str, Optional[float]]:
+        """Worst (max) calibration MAPE per experiment across its specs."""
+        worst: Dict[str, Optional[float]] = {}
+        for record in self.ok_records:
+            value = result_mape(record)
+            if value is None:
+                worst.setdefault(record.experiment, None)
+            else:
+                prior = worst.get(record.experiment)
+                worst[record.experiment] = (
+                    value if prior is None else max(prior, value)
+                )
+        return worst
+
+    @cached_property
+    def wall_time_by_experiment(self) -> Dict[str, float]:
+        """Mean wall time (s) per experiment over successful records.
+
+        Failed specs die early with near-zero wall times that would
+        drag the mean down; experiments with no successes fall back to
+        the mean over their failed records.
+        """
+        ok: Dict[str, List[float]] = {}
+        everything: Dict[str, List[float]] = {}
+        for record in self.records:
+            everything.setdefault(record.experiment, []).append(record.wall_time_s)
+            if record.ok:
+                ok.setdefault(record.experiment, []).append(record.wall_time_s)
+        return {
+            k: sum(ok.get(k, v)) / len(ok.get(k, v))
+            for k, v in everything.items()
+        }
+
+    @cached_property
+    def total_wall_time_s(self) -> float:
+        return sum(r.wall_time_s for r in self.records)
+
+    def markdown(self) -> str:
+        """Per-experiment summary table for the whole run."""
+        rows = []
+        for experiment in self.experiments:
+            records = [r for r in self.records if r.experiment == experiment]
+            ok = sum(1 for r in records if r.ok)
+            error = result_mape_text(self.mape_by_experiment.get(experiment))
+            rows.append([
+                experiment,
+                len(records),
+                ok,
+                len(records) - ok,
+                f"{self.wall_time_by_experiment[experiment]:.2f}",
+                error,
+            ])
+        rows.append([
+            "TOTAL",
+            len(self.records),
+            len(self.ok_records),
+            len(self.failures),
+            f"{self.total_wall_time_s:.2f}",
+            "",
+        ])
+        return render_markdown_table(
+            ["experiment", "specs", "ok", "failed", "mean wall (s)", "MAPE"],
+            rows,
+            title=f"Run report: {self.name}",
+        )
+
+
+def result_mape_text(value: Optional[float]) -> str:
+    return f"{value * 100:.2f}%" if value is not None else "-"
+
+
+def compare_runs(
+    run_a: Union[RunReport, ResultStore, str, Path],
+    run_b: Union[RunReport, ResultStore, str, Path],
+) -> str:
+    """Markdown delta table between two stored runs.
+
+    For every experiment present in both runs: per-series mean values
+    side by side with relative delta, plus the wall-time speedup of run
+    B over run A.
+    """
+    a = run_a if isinstance(run_a, RunReport) else RunReport(run_a)
+    b = run_b if isinstance(run_b, RunReport) else RunReport(run_b)
+    rows: List[List[object]] = []
+    common = [e for e in a.experiments if e in set(b.experiments)]
+    for experiment in common:
+        means_a = _experiment_means(a, experiment)
+        means_b = _experiment_means(b, experiment)
+        for metric in sorted(set(means_a) & set(means_b)):
+            va, vb = means_a[metric], means_b[metric]
+            delta = f"{(vb - va) / va * 100:+.2f}%" if va else "-"
+            rows.append(
+                [experiment, metric, f"{va:.4g}", f"{vb:.4g}", delta]
+            )
+        # Wall times compare only successful specs: a crashed run's
+        # near-zero error wall time must not read as a huge speedup.
+        times_a = _ok_wall_times(a, experiment)
+        times_b = _ok_wall_times(b, experiment)
+        if times_a and times_b:
+            ta = sum(times_a) / len(times_a)
+            tb = sum(times_b) / len(times_b)
+            speedup = f"{ta / tb:.2f}x" if tb else "-"
+            rows.append([
+                experiment, "wall_time_s", f"{ta:.3f}", f"{tb:.3f}", speedup,
+            ])
+    if not rows:
+        rows.append(["-", "no comparable metrics in common", "-", "-", "-"])
+    return render_markdown_table(
+        ["experiment", "metric", a.name, b.name, "delta"],
+        rows,
+        title=f"Compare: {a.name} vs. {b.name}",
+    )
+
+
+def _ok_wall_times(report: RunReport, experiment: str) -> List[float]:
+    return [
+        r.wall_time_s for r in report.ok_records if r.experiment == experiment
+    ]
+
+
+def _experiment_means(report: RunReport, experiment: str) -> Dict[str, float]:
+    """Per-series means averaged across an experiment's ok specs."""
+    sums: Dict[str, List[float]] = {}
+    for record in report.ok_records:
+        if record.experiment != experiment:
+            continue
+        for name, mean in numeric_series_means(record.series).items():
+            sums.setdefault(name, []).append(mean)
+    return {k: sum(v) / len(v) for k, v in sums.items()}

@@ -1,0 +1,198 @@
+"""Parallel sweep executor with caching and failure isolation.
+
+Expanded :class:`~repro.experiments.spec.ExperimentSpec`s fan out
+across a :mod:`multiprocessing` pool.  Each worker seeds ``random``
+from the spec, runs the experiment through the registry, and returns a
+record dict — exceptions are caught per-spec, so one failed spec marks
+itself ``"error"`` without killing the sweep.  Before dispatch the
+runner consults the run directory's :class:`ResultStore`: specs whose
+content hash already has a successful record are skipped (the cache),
+making re-runs of a partially-failed or extended sweep incremental.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.experiments.spec import ExperimentSpec, SpecError, SweepSpec
+from repro.experiments.store import ResultStore, StoredResult, git_metadata
+
+
+@dataclass
+class SweepOutcome:
+    """Summary of one :func:`run_sweep` invocation."""
+
+    sweep: str
+    out_dir: Path
+    executed: List[StoredResult] = field(default_factory=list)
+    cached: int = 0
+
+    @property
+    def failed(self) -> List[StoredResult]:
+        return [r for r in self.executed if not r.ok]
+
+    @property
+    def total(self) -> int:
+        return len(self.executed) + self.cached
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+
+def _execute_spec(payload: Dict[str, object]) -> Dict[str, object]:
+    """Worker entry point: run one spec, never raise.
+
+    Top-level (picklable) so it works under both fork and spawn start
+    methods.  Returns a partial :class:`StoredResult` dict; the parent
+    adds timestamps and git metadata before persisting.
+
+    The global ``random`` module is seeded from the spec for any
+    experiment that consumes ambient randomness; note the current
+    registry entries are internally deterministic (instance-seeded
+    RNGs), so repeats of the same params reproduce identical series.
+    """
+    from repro.harness.experiments import run_experiment, shared_rpc_comparison
+
+    rng_state = random.getstate()
+    random.seed(payload["seed"])
+    # Persisted wall times must not depend on which specs shared a
+    # worker process: drop cross-spec memoization before timing.
+    shared_rpc_comparison.cache_clear()
+    start = time.perf_counter()
+    record = {
+        "spec_hash": payload["spec_hash"],
+        "experiment": payload["experiment"],
+        "params": payload["params"],
+        "repeat": payload["repeat"],
+        "seed": payload["seed"],
+    }
+    try:
+        result = run_experiment(payload["experiment"], **payload["params"])
+    except Exception:
+        record.update(
+            status="error",
+            error=traceback.format_exc(limit=8),
+            series={},
+            text="",
+        )
+    else:
+        record.update(
+            status="ok", error=None, series=result.series, text=result.text
+        )
+    finally:
+        # The serial (jobs=1) path runs in the caller's process: leave
+        # its global RNG stream the way we found it.
+        random.setstate(rng_state)
+    record["wall_time_s"] = time.perf_counter() - start
+    return record
+
+
+def default_jobs() -> int:
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def _pool_context():
+    """Prefer fork (shares the warmed interpreter); fall back to spawn."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def run_sweep(
+    sweep: SweepSpec,
+    out_dir: Union[str, Path],
+    jobs: Optional[int] = None,
+    force: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepOutcome:
+    """Expand ``sweep``, run uncached specs in parallel, persist results.
+
+    ``force`` re-runs specs even when the store already holds a
+    successful record for their hash.  ``progress`` (if given) receives
+    one human-readable line per spec as results land.
+    """
+    sweep.validate()
+    specs = sweep.expand()
+    store = ResultStore(out_dir)
+    prior = store.load_sweep_name()
+    if prior is not None and prior != sweep.name:
+        raise SpecError(
+            f"run directory {store.root} already holds sweep {prior!r}; "
+            f"refusing to mix in {sweep.name!r} — use a different --out"
+        )
+    store.save_sweep(sweep.to_dict())
+    outcome = SweepOutcome(sweep=sweep.name, out_dir=Path(out_dir))
+
+    # Identical specs (e.g. a duplicated grid value) collapse to one
+    # before any accounting, so cached/executed totals agree across
+    # repeat invocations of the same sweep.
+    unique: Dict[str, ExperimentSpec] = {}
+    for spec in specs:
+        unique.setdefault(spec.spec_hash, spec)
+
+    cached_hashes = set() if force else store.ok_hashes()
+    pending: List[ExperimentSpec] = []
+    for spec in unique.values():
+        if spec.spec_hash in cached_hashes:
+            outcome.cached += 1
+            if progress:
+                progress(f"cached  {spec.label} ({spec.spec_hash})")
+        else:
+            pending.append(spec)
+
+    payloads = [
+        {
+            "spec_hash": s.spec_hash,
+            "experiment": s.experiment,
+            "params": dict(s.params),
+            "repeat": s.repeat,
+            "seed": s.seed,
+        }
+        for s in pending
+    ]
+    meta = git_metadata(repo_dir=None)
+    labels = {s.spec_hash: s.label for s in pending}
+
+    def persist(raw: Dict[str, object]) -> None:
+        record = StoredResult(timestamp=time.time(), sweep=sweep.name, **meta, **raw)
+        store.append(record)
+        outcome.executed.append(record)
+        if progress:
+            state = "ok     " if record.ok else "FAILED "
+            progress(
+                f"{state} {labels[record.spec_hash]} "
+                f"({record.wall_time_s:.2f}s)"
+            )
+
+    # Results are persisted as they land (not after the pool drains), so
+    # an interrupted sweep keeps every completed spec in the cache.
+    jobs = jobs or default_jobs()
+    if jobs <= 1 or len(payloads) <= 1:
+        for payload in payloads:
+            persist(_execute_spec(payload))
+    else:
+        pool = _pool_context().Pool(processes=min(jobs, len(payloads)))
+        try:
+            # Unordered: a slow head-of-line spec must not delay
+            # persisting specs that already finished behind it.
+            for raw in pool.imap_unordered(_execute_spec, payloads):
+                persist(raw)
+        except BaseException:
+            # Abort outstanding specs instead of draining a long sweep
+            # before the real error (or Ctrl-C) can surface.
+            pool.terminate()
+            raise
+        else:
+            pool.close()
+        finally:
+            pool.join()
+    return outcome

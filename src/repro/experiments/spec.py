@@ -1,0 +1,227 @@
+"""Declarative experiment and sweep specifications.
+
+An :class:`ExperimentSpec` names one experiment invocation: the
+registry id, a JSON-representable ``params`` dict of config overrides
+(profile, trials, sizes, messages, ...), a repeat index, and a derived
+seed.  A :class:`SweepSpec` bundles groups of experiments with
+per-group fixed params plus a grid of swept params, and expands them
+(grid product x repeats) into the flat spec list the runner executes.
+
+Specs are content-addressed: :attr:`ExperimentSpec.spec_hash` digests
+the canonical JSON form, which is what the result store keys cached
+results on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Sequence, Union
+
+
+class SpecError(ValueError):
+    """A sweep spec is malformed or names unknown experiments/params."""
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One concrete experiment invocation produced by sweep expansion."""
+
+    experiment: str
+    params: Mapping[str, object] = field(default_factory=dict)
+    repeat: int = 0
+    seed: int = 0
+
+    def canonical(self) -> Dict[str, object]:
+        """JSON-stable dict form (params key-sorted) used for hashing."""
+        return {
+            "experiment": self.experiment,
+            "params": {k: self.params[k] for k in sorted(self.params)},
+            "repeat": self.repeat,
+            "seed": self.seed,
+        }
+
+    @property
+    def spec_hash(self) -> str:
+        """Content hash identifying this spec in the result store."""
+        blob = json.dumps(self.canonical(), sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    @property
+    def label(self) -> str:
+        """Short human-readable id, e.g. ``fig13[trials=2]#1``."""
+        params = ",".join(f"{k}={self.params[k]}" for k in sorted(self.params))
+        suffix = f"#{self.repeat}" if self.repeat else ""
+        return f"{self.experiment}[{params}]{suffix}" if params else (
+            f"{self.experiment}{suffix}"
+        )
+
+
+@dataclass
+class SweepGroup:
+    """One experiment plus its fixed params and swept param grid."""
+
+    experiment: str
+    params: Dict[str, object] = field(default_factory=dict)
+    grid: Dict[str, List[object]] = field(default_factory=dict)
+
+    def combos(self) -> Iterable[Dict[str, object]]:
+        """Fixed params merged with every grid-product combination."""
+        if not self.grid:
+            yield dict(self.params)
+            return
+        keys = sorted(self.grid)
+        for values in itertools.product(*(self.grid[k] for k in keys)):
+            combo = dict(self.params)
+            combo.update(zip(keys, values))
+            yield combo
+
+
+@dataclass
+class SweepSpec:
+    """A named collection of experiment groups to expand and run."""
+
+    name: str
+    groups: List[SweepGroup]
+    repeats: int = 1
+    base_seed: int = 1234
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SweepSpec":
+        """Parse the JSON spec format (see ``presets.py`` for examples)."""
+        if not isinstance(data, Mapping):
+            raise SpecError("sweep spec must be a JSON object")
+        try:
+            raw_groups = data["experiments"]
+        except KeyError:
+            raise SpecError("sweep spec missing 'experiments' list") from None
+        if not isinstance(raw_groups, Sequence) or isinstance(raw_groups, str):
+            raise SpecError("'experiments' must be a list of groups")
+        groups = []
+        for entry in raw_groups:
+            if isinstance(entry, str):
+                entry = {"experiment": entry}
+            if not isinstance(entry, Mapping):
+                raise SpecError(
+                    f"experiment group must be an id or object: {entry!r}"
+                )
+            if "experiment" not in entry:
+                raise SpecError(f"group missing 'experiment' id: {entry!r}")
+            raw_params = entry.get("params", {})
+            if not isinstance(raw_params, Mapping):
+                raise SpecError(f"'params' must be an object: {raw_params!r}")
+            raw_grid = entry.get("grid", {})
+            if not isinstance(raw_grid, Mapping):
+                raise SpecError(
+                    f"'grid' must be an object of value lists: {raw_grid!r}"
+                )
+            grid = {}
+            for key, values in raw_grid.items():
+                if isinstance(values, (str, bytes)) or not isinstance(
+                    values, Sequence
+                ):
+                    raise SpecError(
+                        f"grid values must be lists; got {key}={values!r}"
+                    )
+                grid[key] = list(values)
+            groups.append(
+                SweepGroup(
+                    experiment=entry["experiment"],
+                    params=dict(raw_params),
+                    grid=grid,
+                )
+            )
+        try:
+            repeats = int(data.get("repeats", 1))
+            base_seed = int(data.get("base_seed", 1234))
+        except (TypeError, ValueError) as exc:
+            raise SpecError(f"repeats/base_seed must be integers: {exc}") from None
+        return cls(
+            name=str(data.get("name", "sweep")),
+            groups=groups,
+            repeats=repeats,
+            base_seed=base_seed,
+        )
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "SweepSpec":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"invalid JSON in {path}: {exc}") from exc
+        spec = cls.from_dict(data)
+        if spec.name == "sweep":
+            spec.name = path.stem
+        return spec
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "repeats": self.repeats,
+            "base_seed": self.base_seed,
+            "experiments": [
+                {
+                    "experiment": g.experiment,
+                    "params": dict(g.params),
+                    "grid": {k: list(v) for k, v in g.grid.items()},
+                }
+                for g in self.groups
+            ],
+        }
+
+    def validate(self) -> None:
+        """Check every group against the experiment registry up-front."""
+        from repro.harness.experiments import spec_parameters
+
+        if not self.groups:
+            raise SpecError(f"sweep {self.name!r} has no experiment groups")
+        if self.repeats < 1:
+            raise SpecError("repeats must be >= 1")
+        for group in self.groups:
+            try:
+                accepted = spec_parameters(group.experiment)
+            except KeyError as exc:
+                raise SpecError(str(exc)) from None
+            unknown = sorted(
+                (set(group.params) | set(group.grid)) - set(accepted)
+            )
+            if unknown:
+                raise SpecError(
+                    f"experiment {group.experiment!r} does not accept "
+                    f"parameter(s) {', '.join(unknown)}; "
+                    f"accepted: {sorted(accepted)}"
+                )
+
+    def expand(self) -> List[ExperimentSpec]:
+        """Grid product x repeats -> flat, deterministically-seeded specs.
+
+        Seeds derive from the spec content (not its position in the
+        expansion), so reordering groups in a sweep file does not
+        invalidate the cache.
+        """
+        specs: List[ExperimentSpec] = []
+        for group in self.groups:
+            for combo in group.combos():
+                for repeat in range(self.repeats):
+                    content = json.dumps(
+                        [group.experiment, sorted(combo.items()), repeat],
+                        sort_keys=True,
+                        default=str,
+                    )
+                    seed = (
+                        self.base_seed * 1_000_003 + zlib.crc32(content.encode())
+                    ) % 2**31
+                    specs.append(
+                        ExperimentSpec(
+                            experiment=group.experiment,
+                            params=combo,
+                            repeat=repeat,
+                            seed=seed,
+                        )
+                    )
+        return specs

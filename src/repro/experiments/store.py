@@ -1,0 +1,143 @@
+"""JSONL-backed persistence for experiment results.
+
+Each sweep run owns a directory; inside it, ``results.jsonl`` holds one
+JSON record per executed spec (hash, params, series, wall time, git
+metadata, status) and ``sweep.json`` holds the expanded sweep spec.
+Records append-only; when a spec is re-run (``--force``) the newest
+record wins on load.  A run directory assumes one writer at a time:
+concurrent sweeps should target separate ``--out`` directories.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Union
+
+RESULTS_FILE = "results.jsonl"
+SWEEP_FILE = "sweep.json"
+
+
+@dataclass
+class StoredResult:
+    """One persisted experiment execution (ok or failed)."""
+
+    spec_hash: str
+    experiment: str
+    params: Dict[str, object]
+    repeat: int
+    seed: int
+    status: str                      # "ok" | "error"
+    series: Dict[str, object] = field(default_factory=dict)
+    text: str = ""
+    error: Optional[str] = None
+    wall_time_s: float = 0.0
+    timestamp: float = 0.0
+    sweep: str = ""
+    git_commit: Optional[str] = None
+    git_dirty: Optional[bool] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def git_metadata(repo_dir: Union[str, Path, None] = None) -> Dict[str, object]:
+    """Current commit hash and dirty flag, or Nones outside a repo."""
+    cwd = str(repo_dir) if repo_dir else None
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, cwd=cwd, timeout=10,
+        )
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True, text=True, cwd=cwd, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return {"git_commit": None, "git_dirty": None}
+    if commit.returncode != 0:
+        return {"git_commit": None, "git_dirty": None}
+    return {
+        "git_commit": commit.stdout.strip(),
+        "git_dirty": bool(status.stdout.strip()),
+    }
+
+
+class ResultStore:
+    """Append/load/query interface over one run directory."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    @property
+    def results_path(self) -> Path:
+        return self.root / RESULTS_FILE
+
+    @property
+    def sweep_path(self) -> Path:
+        return self.root / SWEEP_FILE
+
+    def exists(self) -> bool:
+        return self.results_path.is_file()
+
+    def save_sweep(self, sweep_dict: Dict[str, object]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.sweep_path.write_text(json.dumps(sweep_dict, indent=2) + "\n")
+
+    def load_sweep_name(self) -> Optional[str]:
+        """Name recorded in ``sweep.json``, or None if absent/corrupt."""
+        if not self.sweep_path.is_file():
+            return None
+        try:
+            name = json.loads(self.sweep_path.read_text()).get("name")
+        except (json.JSONDecodeError, OSError, AttributeError):
+            return None
+        return name if isinstance(name, str) else None
+
+    def append(self, record: StoredResult) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self.results_path.open("a") as fh:
+            fh.write(json.dumps(asdict(record)) + "\n")
+
+    def load(self) -> List[StoredResult]:
+        """Every record in append order (skipping corrupt lines)."""
+        if not self.exists():
+            return []
+        records = []
+        with self.results_path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(StoredResult(**json.loads(line)))
+                except (json.JSONDecodeError, TypeError):
+                    continue
+        return records
+
+    def latest(self) -> Dict[str, StoredResult]:
+        """Newest record per spec hash (re-runs supersede old results)."""
+        newest: Dict[str, StoredResult] = {}
+        for record in self.load():
+            newest[record.spec_hash] = record
+        return newest
+
+    def ok_hashes(self) -> Set[str]:
+        """Spec hashes whose newest record succeeded — the skip cache."""
+        return {h for h, r in self.latest().items() if r.ok}
+
+    def query(
+        self,
+        experiment: Optional[str] = None,
+        status: Optional[str] = None,
+    ) -> Iterator[StoredResult]:
+        """Newest-per-spec records filtered by experiment id and status."""
+        for record in self.latest().values():
+            if experiment is not None and record.experiment != experiment:
+                continue
+            if status is not None and record.status != status:
+                continue
+            yield record

@@ -5,19 +5,26 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence
 
 
-def render_table(
-    headers: Sequence[str],
-    rows: Sequence[Sequence[object]],
-    title: Optional[str] = None,
-) -> str:
-    """Fixed-width ASCII table."""
+def _column_widths(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> List[int]:
+    """Widest stringified cell per column (headers included)."""
     columns = [[str(h)] for h in headers]
     for row in rows:
         if len(row) != len(headers):
             raise ValueError("row width does not match headers")
         for col, cell in zip(columns, row):
             col.append(str(cell))
-    widths = [max(len(cell) for cell in col) for col in columns]
+    return [max(len(cell) for cell in col) for col in columns]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width ASCII table."""
+    widths = _column_widths(headers, rows)
     lines = []
     if title:
         lines.append(title)
@@ -27,6 +34,30 @@ def render_table(
     for row in rows:
         lines.append(
             " | ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """GitHub-flavoured markdown table (used by sweep reports)."""
+    widths = _column_widths(headers, rows)
+    lines = []
+    if title:
+        lines.append(f"## {title}")
+        lines.append("")
+    lines.append(
+        "| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |"
+    )
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    for row in rows:
+        lines.append(
+            "| "
+            + " | ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+            + " |"
         )
     return "\n".join(lines)
 

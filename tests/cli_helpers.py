@@ -1,0 +1,19 @@
+"""Shared CLI test helpers (a plain module, not a conftest: the
+benchmarks suite already owns the ``conftest`` module name)."""
+
+import io
+import sys
+
+
+def run_cli(*argv):
+    """Invoke the repro CLI, returning (exit_code, captured_stdout)."""
+    from repro.cli import main
+
+    out = io.StringIO()
+    old = sys.stdout
+    sys.stdout = out
+    try:
+        code = main(list(argv))
+    finally:
+        sys.stdout = old
+    return code, out.getvalue()

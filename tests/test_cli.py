@@ -1,24 +1,10 @@
 """Tests for the command-line interface."""
 
-import io
-
 import pytest
 
+from cli_helpers import run_cli
+
 from repro.cli import main
-
-
-def run_cli(*argv):
-    out = io.StringIO()
-    import repro.cli as cli
-    import sys
-
-    old = sys.stdout
-    sys.stdout = out
-    try:
-        code = cli.main(list(argv))
-    finally:
-        sys.stdout = old
-    return code, out.getvalue()
 
 
 def test_list_names_every_experiment():
@@ -34,10 +20,35 @@ def test_run_single_experiment():
     assert "SimCXL" in out
 
 
+def test_run_multiple_experiments():
+    code, out = run_cli("run", "table1", "table2")
+    assert code == 0
+    assert "Xeon" in out
+    assert "SimCXL" in out
+
+
 def test_run_unknown_experiment():
     code, out = run_cli("run", "fig99")
     assert code == 2
     assert "unknown experiment" in out
+
+
+def test_run_validates_all_names_before_running_any():
+    code, out = run_cli("run", "table1", "fig99")
+    assert code == 2
+    assert "Xeon" not in out  # nothing executed
+
+
+def test_list_aligns_long_ids():
+    code, out = run_cli("list")
+    assert code == 0
+    # Doc columns line up even for the longest id (e.g. 'headline').
+    starts = {
+        line.index(line.split(maxsplit=1)[1])
+        for line in out.splitlines()[1:]
+        if line.strip()
+    }
+    assert len(starts) == 1
 
 
 def test_run_writes_to_file(tmp_path):
