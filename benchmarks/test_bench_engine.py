@@ -1,0 +1,70 @@
+"""Microbenchmarks for the simulator hot path (engine, cache, RPC).
+
+Unlike the figure benchmarks, these measure the simulator itself: raw
+event-calendar throughput, cancellation churn, and the cache-array
+access mix.  ``repro bench`` runs the same workloads at larger sizes
+and records them in ``BENCH_engine.json``; this suite keeps them under
+pytest-benchmark so a plain ``pytest benchmarks/ --benchmark-only``
+also tracks engine regressions.
+"""
+
+from repro import bench
+from repro.sim.engine import Simulator
+
+
+def test_bench_engine_drain(benchmark):
+    result = benchmark.pedantic(
+        bench.bench_engine_drain, kwargs={"events": 50_000}, rounds=3, iterations=1
+    )
+    assert result["events"] >= 50_000
+    assert result["events_per_sec"] > 0
+
+
+def test_bench_engine_cancel(benchmark):
+    result = benchmark.pedantic(
+        bench.bench_engine_cancel, kwargs={"events": 20_000}, rounds=3, iterations=1
+    )
+    # Half the scheduled events are cancelled (some cancels land on
+    # already-cancelled handles, so the fired count floats above half).
+    assert 0 < result["events"] <= result["scheduled"]
+
+
+def test_bench_cache_array(benchmark):
+    result = benchmark.pedantic(
+        bench.bench_cache_array, kwargs={"ops": 50_000}, rounds=3, iterations=1
+    )
+    assert result["ops"] == 50_000
+    assert 0.0 < result["hit_rate"] < 1.0
+
+
+def test_bench_rpc(benchmark):
+    result = benchmark.pedantic(
+        bench.bench_rpc, kwargs={"messages": 10}, rounds=1, iterations=1
+    )
+    assert result["deser_speedup"] > 1.0
+
+
+def test_bench_workloads_are_deterministic():
+    """The same workload executes the same event sequence every run."""
+    first = bench.bench_engine_drain(events=5_000)
+    second = bench.bench_engine_drain(events=5_000)
+    assert first["events"] == second["events"]
+
+    first = bench.bench_cache_array(ops=5_000)
+    second = bench.bench_cache_array(ops=5_000)
+    assert first["hit_rate"] == second["hit_rate"]
+
+
+def test_raw_fast_path_schedule(benchmark):
+    """Pure schedule_after + drain cost, no workload logic at all."""
+
+    def drain() -> int:
+        sim = Simulator()
+        noop = lambda: None  # noqa: E731
+        for i in range(10_000):
+            sim.schedule_after(i % 977, noop)
+        sim.run()
+        return sim.executed
+
+    executed = benchmark.pedantic(drain, rounds=3, iterations=1)
+    assert executed == 10_000

@@ -1,0 +1,232 @@
+"""Performance benchmark harness for the simulator core (``repro bench``).
+
+Runs a fixed set of hot-path workloads — a raw event-calendar drain, a
+cancellation-heavy drain, a cache-array access mix, an end-to-end RPC
+comparison, and the ``quick`` sweep preset — and reports wall-clock
+time and events-per-second for each.  ``repro bench`` writes the
+payload to ``BENCH_engine.json`` so the performance trajectory can be
+tracked PR-over-PR (compare the same machine only; absolute numbers are
+not portable).
+
+Workloads are deterministic: address and delay streams come from a
+seeded ``random.Random``, so two runs on the same interpreter execute
+identical event sequences and differences in the report are pure
+wall-clock noise.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Union
+
+from repro import __version__
+from repro.cache.array import CacheArray
+from repro.cache.block import MesiState
+from repro.sim.engine import Simulator
+
+DEFAULT_OUT = "BENCH_engine.json"
+
+Progress = Optional[Callable[[str], None]]
+
+
+def _timed(fn: Callable[[], Dict[str, Any]]) -> Dict[str, Any]:
+    start = time.perf_counter()
+    payload = fn()
+    payload["wall_s"] = round(time.perf_counter() - start, 6)
+    return payload
+
+
+def bench_engine_drain(events: int = 300_000, chains: int = 64, seed: int = 7) -> Dict[str, Any]:
+    """Drain ``events`` events from ``chains`` self-rescheduling timers.
+
+    Exercises the tuple-heap calendar, the entry free-list and the
+    trusted fast path; no component or cache logic in the loop.
+    """
+    rng = random.Random(seed)
+    sim = Simulator()
+    budget = events
+    counter = [0]
+
+    def tick(delay: int) -> None:
+        counter[0] += 1
+        if counter[0] < budget:
+            sim.schedule_after(delay, tick, (1 + (delay * 1103515245 + 12345) % 997,))
+
+    def run() -> Dict[str, Any]:
+        for _ in range(chains):
+            sim.schedule_after(rng.randrange(1, 1000), tick, (rng.randrange(1, 997),))
+        sim.run()
+        return {"events": sim.executed}
+
+    result = _timed(run)
+    result["events_per_sec"] = round(result["events"] / max(result["wall_s"], 1e-9))
+    return result
+
+
+def bench_engine_cancel(events: int = 100_000, seed: int = 11) -> Dict[str, Any]:
+    """Schedule/cancel churn: half the calendar is lazily deleted.
+
+    Exercises :meth:`Event.cancel`, the cancel counter and heap
+    compaction.
+    """
+    rng = random.Random(seed)
+    sim = Simulator()
+    fired = [0]
+
+    def noop() -> None:
+        fired[0] += 1
+
+    def run() -> Dict[str, Any]:
+        handles = []
+        for i in range(events):
+            handles.append(sim.schedule(rng.randrange(1, 1_000_000), noop))
+            if i % 2:
+                handles[rng.randrange(0, len(handles))].cancel()
+        sim.run()
+        return {"events": sim.executed, "scheduled": events}
+
+    result = _timed(run)
+    result["events_per_sec"] = round(result["events"] / max(result["wall_s"], 1e-9))
+    return result
+
+
+def bench_cache_array(ops: int = 300_000, seed: int = 13) -> Dict[str, Any]:
+    """Mixed lookup/insert stream against an L1-sized array.
+
+    Exercises shift-and-mask indexing, lazy set creation and LRU
+    eviction under a working set ~4x the array capacity.
+    """
+    rng = random.Random(seed)
+    array = CacheArray(size=48 * 1024, ways=12, name="bench-l1")
+    lines = (48 * 1024 // 64) * 4
+    addrs = [rng.randrange(0, lines) * 64 for _ in range(8192)]
+
+    def run() -> Dict[str, Any]:
+        n = len(addrs)
+        for i in range(ops):
+            addr = addrs[i % n]
+            if array.lookup(addr) is None:
+                array.insert(addr, MesiState.EXCLUSIVE)
+        return {"ops": ops, "hit_rate": round(array.hit_rate, 4)}
+
+    result = _timed(run)
+    result["ops_per_sec"] = round(result["ops"] / max(result["wall_s"], 1e-9))
+    return result
+
+
+def bench_rpc(messages: int = 30) -> Dict[str, Any]:
+    """One HyperProtoBench bench through all four RPC designs.
+
+    End-to-end workload: CXL device, DCOH/HMC, LLC home agent and DRAM
+    behind the discrete-event core.
+    """
+    from repro.config import fpga_system
+    from repro.rpc.harness import run_rpc_comparison
+
+    def run() -> Dict[str, Any]:
+        comparisons = run_rpc_comparison(
+            fpga_system(), benches=("Bench0",), messages=messages
+        )
+        comparison = comparisons["Bench0"]
+        return {
+            "messages": messages,
+            "deser_speedup": round(comparison.deser_speedup, 4),
+        }
+
+    return _timed(run)
+
+
+def bench_sweep(jobs: int = 1) -> Dict[str, Any]:
+    """The ``quick`` sweep preset end-to-end (the acceptance workload).
+
+    Runs into a throwaway directory with the result cache disabled so
+    every spec executes.  This is the number to compare PR-over-PR.
+    """
+    from repro.experiments import preset_sweep, run_sweep
+
+    sweep = preset_sweep("quick")
+
+    def run() -> Dict[str, Any]:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            outcome = run_sweep(sweep, Path(tmp) / "quick", jobs=jobs, force=True)
+        if outcome.failed:
+            raise RuntimeError(f"bench sweep had failures: {outcome.failed}")
+        return {"specs": outcome.total, "jobs": jobs}
+
+    return _timed(run)
+
+
+def run_bench(quick: bool = False, progress: Progress = None) -> Dict[str, Any]:
+    """Run every workload; returns the JSON-ready payload.
+
+    ``quick`` shrinks workload sizes for CI smoke runs.
+    """
+
+    def note(line: str) -> None:
+        if progress is not None:
+            progress(line)
+
+    scale = 0.1 if quick else 1.0
+    workloads: Dict[str, Dict[str, Any]] = {}
+
+    note("engine_drain ...")
+    workloads["engine_drain"] = bench_engine_drain(events=int(300_000 * scale) or 1)
+    note(f"engine_drain: {workloads['engine_drain']['events_per_sec']:,} events/s")
+
+    note("engine_cancel ...")
+    workloads["engine_cancel"] = bench_engine_cancel(events=int(100_000 * scale) or 1)
+    note(f"engine_cancel: {workloads['engine_cancel']['events_per_sec']:,} events/s")
+
+    note("cache_array ...")
+    workloads["cache_array"] = bench_cache_array(ops=int(300_000 * scale) or 1)
+    note(f"cache_array: {workloads['cache_array']['ops_per_sec']:,} ops/s")
+
+    note("rpc ...")
+    workloads["rpc"] = bench_rpc(messages=10 if quick else 30)
+    note(f"rpc: {workloads['rpc']['wall_s']:.3f}s")
+
+    note("sweep_quick ...")
+    workloads["sweep_quick"] = bench_sweep()
+    note(f"sweep_quick: {workloads['sweep_quick']['wall_s']:.3f}s")
+
+    from repro.cache.mesi import fast_mode
+
+    return {
+        "schema": 1,
+        "repro_version": __version__,
+        "python": sys.version.split()[0],
+        "quick": quick,
+        "mesi_fast_mode": fast_mode(),
+        "workloads": workloads,
+    }
+
+
+def write_bench(payload: Dict[str, Any], path: Union[str, Path] = DEFAULT_OUT) -> Path:
+    """Write ``payload`` to ``path`` (default ``BENCH_engine.json``)."""
+    out = Path(path)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def render(payload: Dict[str, Any]) -> str:
+    """Human-readable summary table of a bench payload."""
+    lines = [
+        f"repro bench (version {payload['repro_version']},"
+        f" python {payload['python']},"
+        f" {'quick' if payload['quick'] else 'full'} sizes)",
+        f"{'workload':<16} {'wall s':>10} {'throughput':>20}",
+    ]
+    for name, w in payload["workloads"].items():
+        if "events_per_sec" in w:
+            throughput = f"{w['events_per_sec']:,} events/s"
+        elif "ops_per_sec" in w:
+            throughput = f"{w['ops_per_sec']:,} ops/s"
+        else:
+            throughput = "-"
+        lines.append(f"{name:<16} {w['wall_s']:>10.3f} {throughput:>20}")
+    return "\n".join(lines)

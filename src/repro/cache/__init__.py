@@ -3,7 +3,13 @@
 from repro.cache.block import CacheBlock, MesiState
 from repro.cache.array import CacheArray
 from repro.cache.messages import CoherenceMessage, MessageType
-from repro.cache.mesi import ALLOWED_TRANSITIONS, check_transition, ProtocolError
+from repro.cache.mesi import (
+    ALLOWED_TRANSITIONS,
+    check_transition,
+    fast_mode,
+    ProtocolError,
+    set_fast_mode,
+)
 from repro.cache.l1 import L1Cache
 from repro.cache.llc import SharedLLC, LlcOp
 from repro.cache.hmc import HostMemoryCache
@@ -17,6 +23,8 @@ __all__ = [
     "MessageType",
     "ALLOWED_TRANSITIONS",
     "check_transition",
+    "fast_mode",
+    "set_fast_mode",
     "ProtocolError",
     "L1Cache",
     "SharedLLC",

@@ -1,11 +1,30 @@
-"""Set-associative tag array with true-LRU replacement."""
+"""Set-associative tag array with true-LRU replacement.
+
+Geometry is required to be power-of-two in the line size and in the
+number of sets (``size / (ways * line)``) so that set index and tag are
+extracted with shifts and masks instead of division — the array sits on
+the simulator's hottest path.  The way count itself need not be a power
+of two.
+
+Statistics contract
+-------------------
+* :meth:`lookup` counts **exactly one** hit or miss per call.  The
+  ``touch`` flag only controls the LRU recency update: a
+  ``lookup(addr, touch=False)`` probe still counts.  Pass
+  ``count=False`` for a probe that should leave statistics alone.
+* :meth:`peek` never counts statistics and never touches LRU state; it
+  deliberately diverges from :meth:`lookup` so controllers can inspect
+  directory state without perturbing measurements.
+* :meth:`insert` never counts a hit or a miss — a fill that follows a
+  counted ``lookup`` miss therefore does not double-count the miss.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.cache.block import CacheBlock, MesiState
-from repro.mem.address import CACHELINE, line_base
+from repro.mem.address import CACHELINE
 
 
 class CacheArray:
@@ -14,6 +33,11 @@ class CacheArray:
     Operates on full physical addresses (internally line-aligned).  The
     array never evicts silently: ``insert`` returns the victim so the
     controller can act on dirty data.
+
+    ``line`` and the derived set count must be powers of two (the way
+    count may be arbitrary); index/tag extraction is shift-and-mask.
+    Per-set stores are created lazily, so constructing a large array
+    (e.g. a 96 MB LLC) is O(1).
     """
 
     def __init__(self, size: int, ways: int, line: int = CACHELINE, name: str = "cache") -> None:
@@ -21,58 +45,97 @@ class CacheArray:
             raise ValueError("size, ways and line must be positive")
         if size % (ways * line):
             raise ValueError("size must be a multiple of ways * line")
+        if line & (line - 1):
+            raise ValueError(f"line size must be a power of two (got {line})")
+        num_sets = size // (ways * line)
+        if num_sets & (num_sets - 1):
+            raise ValueError(
+                f"set count must be a power of two (got {num_sets} sets"
+                f" from size={size}, ways={ways}, line={line})"
+            )
         self.size = size
         self.ways = ways
         self.line = line
         self.name = name
-        self.num_sets = size // (ways * line)
-        self._sets: List[Dict[int, CacheBlock]] = [dict() for _ in range(self.num_sets)]
+        self.num_sets = num_sets
+        self._line_shift = line.bit_length() - 1
+        self._set_mask = num_sets - 1
+        self._set_bits = num_sets.bit_length() - 1
+        self._tag_shift = self._line_shift + self._set_bits
+        # Set stores, keyed by set index and created on first fill.
+        self._sets: Dict[int, Dict[int, CacheBlock]] = {}
         self._tick = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.dirty_evictions = 0
 
-    def _index_tag(self, addr: int) -> Tuple[int, int]:
-        base = line_base(addr, self.line)
-        index = (base // self.line) % self.num_sets
-        tag = base // (self.line * self.num_sets)
-        return index, tag
+    def index_tag(self, addr: int) -> Tuple[int, int]:
+        """Decompose ``addr`` into ``(set index, tag)``.
 
-    def lookup(self, addr: int, touch: bool = True) -> Optional[CacheBlock]:
-        """Return the valid block holding ``addr``, or None (counts stats)."""
-        index, tag = self._index_tag(addr)
-        block = self._sets[index].get(tag)
+        Exposed so a controller that probes a line and later fills it
+        (after a simulated round trip) can compute the decomposition
+        once and pass it back through ``insert(probe=...)``.
+        """
+        shifted = addr >> self._line_shift
+        return shifted & self._set_mask, shifted >> self._set_bits
+
+    # Backwards-compatible internal alias.
+    _index_tag = index_tag
+
+    def lookup(self, addr: int, touch: bool = True, count: bool = True) -> Optional[CacheBlock]:
+        """Return the valid block holding ``addr``, or None.
+
+        Counts one hit or miss unless ``count=False``; ``touch``
+        controls only the LRU recency update (see the module-level
+        statistics contract).
+        """
+        shifted = addr >> self._line_shift
+        cache_set = self._sets.get(shifted & self._set_mask)
+        block = cache_set.get(shifted >> self._set_bits) if cache_set else None
         if block is not None and block.valid:
-            self.hits += 1
+            if count:
+                self.hits += 1
             if touch:
                 self._tick += 1
                 block.last_touch = self._tick
             return block
-        self.misses += 1
+        if count:
+            self.misses += 1
         return None
 
     def peek(self, addr: int) -> Optional[CacheBlock]:
         """Lookup without statistics or LRU update."""
-        index, tag = self._index_tag(addr)
-        block = self._sets[index].get(tag)
+        shifted = addr >> self._line_shift
+        cache_set = self._sets.get(shifted & self._set_mask)
+        block = cache_set.get(shifted >> self._set_bits) if cache_set else None
         if block is not None and block.valid:
             return block
         return None
 
     def insert(
-        self, addr: int, state: MesiState
+        self,
+        addr: int,
+        state: MesiState,
+        probe: Optional[Tuple[int, int]] = None,
     ) -> Tuple[CacheBlock, Optional[Tuple[int, CacheBlock]]]:
         """Fill ``addr`` with ``state``; returns ``(block, victim)``.
 
         ``victim`` is ``(victim_addr, victim_block)`` when a valid line
         had to be replaced, else None.  Locked lines are never chosen as
         victims; inserting into a set whose lines are all locked raises.
+        ``probe`` reuses an ``index_tag(addr)`` result computed at
+        lookup time.  Fills never count hit/miss statistics.
         """
         if state is MesiState.INVALID:
             raise ValueError("cannot insert an invalid line")
-        index, tag = self._index_tag(addr)
-        cache_set = self._sets[index]
+        if probe is None:
+            index, tag = self.index_tag(addr)
+        else:
+            index, tag = probe
+        cache_set = self._sets.get(index)
+        if cache_set is None:
+            cache_set = self._sets[index] = {}
         self._tick += 1
         existing = cache_set.get(tag)
         if existing is not None and existing.valid:
@@ -103,19 +166,26 @@ class CacheArray:
 
     def invalidate(self, addr: int) -> Optional[CacheBlock]:
         """Drop the line holding ``addr``; returns the old block if valid."""
-        index, tag = self._index_tag(addr)
-        block = self._sets[index].pop(tag, None)
+        index, tag = self.index_tag(addr)
+        cache_set = self._sets.get(index)
+        if cache_set is None:
+            return None
+        block = cache_set.pop(tag, None)
         if block is not None and block.valid:
             return block
         return None
 
     def _block_addr(self, index: int, tag: int) -> int:
-        return (tag * self.num_sets + index) * self.line
+        return ((tag << self._set_bits) | index) << self._line_shift
 
     def blocks(self) -> Iterator[Tuple[int, CacheBlock]]:
-        """Iterate ``(line_addr, block)`` over all valid lines."""
-        for index, cache_set in enumerate(self._sets):
-            for tag, block in cache_set.items():
+        """Iterate ``(line_addr, block)`` over all valid lines.
+
+        Iterates sets in index order so traversal order is deterministic
+        regardless of fill order.
+        """
+        for index in sorted(self._sets):
+            for tag, block in self._sets[index].items():
                 if block.valid:
                     yield self._block_addr(index, tag), block
 

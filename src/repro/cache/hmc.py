@@ -16,7 +16,6 @@ from repro.cache.block import CacheBlock, MesiState
 from repro.cache.mesi import check_transition
 from repro.cache.messages import MessageType
 from repro.config.system import DeviceProfile
-from repro.mem.address import line_base
 from repro.sim.component import Component
 from repro.sim.engine import Simulator
 
@@ -60,37 +59,46 @@ class HostMemoryCache(Component):
     # ------------------------------------------------------------------
     # Functional array operations
     # ------------------------------------------------------------------
+    # The array's shift-and-mask indexing discards line-offset bits, so
+    # these helpers pass raw addresses straight through.
     def lookup(self, addr: int) -> Optional[CacheBlock]:
-        return self.array.lookup(line_base(addr))
+        return self.array.lookup(addr)
 
     def peek(self, addr: int) -> Optional[CacheBlock]:
-        return self.array.peek(line_base(addr))
+        return self.array.peek(addr)
 
     def fill(
-        self, addr: int, state: MesiState = MesiState.EXCLUSIVE
+        self,
+        addr: int,
+        state: MesiState = MesiState.EXCLUSIVE,
+        probe: Optional[Tuple[int, int]] = None,
     ) -> Tuple[CacheBlock, Optional[Tuple[int, CacheBlock]]]:
-        """Install a line; returns (block, victim) like the array."""
-        return self.array.insert(line_base(addr), state)
+        """Install a line; returns (block, victim) like the array.
+
+        ``probe`` forwards a cached ``array.index_tag`` decomposition
+        when the caller looked the line up earlier in the transaction.
+        """
+        return self.array.insert(addr, state, probe=probe)
 
     def mark_modified(self, addr: int) -> None:
         """Silent E->M upgrade (Fig. 7 phase 2)."""
-        block = self.array.peek(line_base(addr))
+        block = self.array.peek(addr)
         if block is None:
             raise LookupError(f"line {addr:#x} not present in {self.name}")
         block.state = check_transition(block.state, "local_write", MesiState.MODIFIED)
 
     def invalidate(self, addr: int) -> Optional[CacheBlock]:
-        return self.array.invalidate(line_base(addr))
+        return self.array.invalidate(addr)
 
     def lock(self, addr: int) -> None:
         """RAO PEs lock the target line during read-modify-write (§V-A.2)."""
-        block = self.array.peek(line_base(addr))
+        block = self.array.peek(addr)
         if block is None:
             raise LookupError(f"cannot lock absent line {addr:#x}")
         block.locked = True
 
     def unlock(self, addr: int) -> None:
-        block = self.array.peek(line_base(addr))
+        block = self.array.peek(addr)
         if block is not None:
             block.locked = False
 
@@ -99,7 +107,6 @@ class HostMemoryCache(Component):
     # ------------------------------------------------------------------
     def snoop(self, snoop_type: MessageType, addr: int) -> MessageType:
         self.snoops_received += 1
-        addr = line_base(addr)
         block = self.array.peek(addr)
         if block is None:
             return MessageType.RSP_I

@@ -13,6 +13,7 @@ from typing import Callable, Optional
 from repro.cache.array import CacheArray
 from repro.cache.block import MesiState
 from repro.cache.mesi import check_transition
+from repro.cache.llc import LlcOp
 from repro.cache.messages import MessageType
 from repro.config.system import HostParams
 from repro.mem.address import line_base
@@ -50,15 +51,16 @@ class L1Cache(Component):
         if block is not None:
             self.schedule(self.hit_ps, on_done)
             return
+        # Decompose once at miss time; the fill after the round trip
+        # reuses the probe instead of re-deriving index/tag.
+        probe = self.array.index_tag(addr)
 
         def filled() -> None:
-            new_block, victim = self.array.insert(addr, MesiState.SHARED)
+            new_block, victim = self.array.insert(addr, MesiState.SHARED, probe=probe)
             check_transition(MesiState.INVALID, "fill_s", new_block.state)
             if victim is not None:
                 self._write_back_victim(*victim)
             on_done()
-
-        from repro.cache.llc import LlcOp
 
         self.llc.request(self.name, LlcOp.RD_SHARED, addr, filled)
 
@@ -72,8 +74,10 @@ class L1Cache(Component):
             self.schedule(self.hit_ps, on_done)
             return
 
+        probe = self.array.index_tag(addr)
+
         def owned() -> None:
-            new_block, victim = self.array.insert(addr, MesiState.EXCLUSIVE)
+            new_block, victim = self.array.insert(addr, MesiState.EXCLUSIVE, probe=probe)
             check_transition(MesiState.INVALID, "fill_e", new_block.state)
             new_block.state = check_transition(
                 new_block.state, "local_write", MesiState.MODIFIED
@@ -81,8 +85,6 @@ class L1Cache(Component):
             if victim is not None:
                 self._write_back_victim(*victim)
             on_done()
-
-        from repro.cache.llc import LlcOp
 
         self.llc.request(self.name, LlcOp.RD_OWN, addr, owned)
 
@@ -93,8 +95,6 @@ class L1Cache(Component):
         if block is None:
             self.schedule(0, on_done)
             return
-        from repro.cache.llc import LlcOp
-
         op = LlcOp.DIRTY_EVICT if block.dirty else LlcOp.CLEAN_EVICT
 
         def done() -> None:
@@ -104,8 +104,6 @@ class L1Cache(Component):
         self.llc.request(self.name, op, addr, done)
 
     def _write_back_victim(self, victim_addr: int, victim) -> None:
-        from repro.cache.llc import LlcOp
-
         if victim.dirty:
             self.llc.request(self.name, LlcOp.DIRTY_EVICT, victim_addr, lambda: None)
         else:

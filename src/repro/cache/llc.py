@@ -113,18 +113,24 @@ class SharedLLC(Component):
 
     def _start(self, requester: str, op: LlcOp, addr: int, on_done: Callable[[], None]) -> None:
         self.requests += 1
-        self._record(MessageType(op.value), addr, requester, self.name, self.sim.now)
+        if self.trace.enabled:
+            self._record(MessageType(op.value), addr, requester, self.name, self.sim.now)
         # Ingress queue, then wait for the home agent to be free.
-        arrival = self.sim.now + self.host.home_ingress_ps
-        self.schedule(arrival - self.sim.now, self._arbitrate, requester, op, addr, on_done)
+        self.sim.schedule_after(
+            self.host.home_ingress_ps, self._arbitrate, (requester, op, addr, on_done)
+        )
 
     def _arbitrate(self, requester: str, op: LlcOp, addr: int, on_done: Callable[[], None]) -> None:
-        start = max(self.sim.now, self._next_free_ps)
+        now = self.sim.now
+        start = now if now > self._next_free_ps else self._next_free_ps
         hit = self.array.peek(addr) is not None
         ii = self.host.host_path_ii_ps if hit else self.host.mem_path_ii_ps
         self._next_free_ps = start + ii
-        lookup_done = start + self.host.llc_access_ps
-        self.schedule(lookup_done - self.sim.now, self._dispatch, requester, op, addr, on_done)
+        self.sim.schedule_after(
+            start + self.host.llc_access_ps - now,
+            self._dispatch,
+            (requester, op, addr, on_done),
+        )
 
     def _dispatch(self, requester: str, op: LlcOp, addr: int, on_done: Callable[[], None]) -> None:
         if op is LlcOp.RD_SHARED:
@@ -144,7 +150,11 @@ class SharedLLC(Component):
     # Read paths
     # ------------------------------------------------------------------
     def _read(self, requester: str, addr: int, exclusive: bool, on_done: Callable[[], None]) -> None:
-        block = self.array.peek(addr)
+        # The one counted probe per read request (stats contract: the
+        # timing probe in _arbitrate peeks, and the fill that follows a
+        # miss in _read_from_memory never re-counts).  touch=False keeps
+        # LLC replacement driven purely by fill order, as before.
+        block = self.array.lookup(addr, touch=False)
         if block is None:
             self._read_from_memory(requester, addr, exclusive, on_done)
             return
@@ -171,7 +181,8 @@ class SharedLLC(Component):
     def _read_from_memory(
         self, requester: str, addr: int, exclusive: bool, on_done: Callable[[], None]
     ) -> None:
-        self._record(MessageType.MEM_RD, addr, self.name, "memory", self.sim.now)
+        if self.trace.enabled:
+            self._record(MessageType.MEM_RD, addr, self.name, "memory", self.sim.now)
         mem_ps = self.memif.access_ps(addr, self.sim.now)
         block, victim = self.array.insert(addr, MesiState.EXCLUSIVE)
         if victim is not None:
@@ -196,16 +207,20 @@ class SharedLLC(Component):
         """Snoop ``peer_id``; returns the latency added to the request."""
         peer = self._peers.get(peer_id)
         self.snoops_sent += 1
-        self._record(snoop_type, addr, self.name, peer_id, self.sim.now)
+        traced = self.trace.enabled
+        if traced:
+            self._record(snoop_type, addr, self.name, peer_id, self.sim.now)
         if peer is None:
             raise ProtocolError(f"directory names unknown peer {peer_id!r}")
         response = peer.snoop(snoop_type, addr)
-        self._record(response, addr, peer_id, self.name, self.sim.now + self.snoop_rt_ps)
+        if traced:
+            self._record(response, addr, peer_id, self.name, self.sim.now + self.snoop_rt_ps)
         if response in (MessageType.RSP_I_FWD_M, MessageType.RSP_S_FWD_S):
             # Dirty data forwarded: home agent writes it back to memory
             # (Fig. 7 phase 1 writes back CoreX-L1's M copy).
             self.writebacks += 1
-            self._record(MessageType.MEM_WR, addr, self.name, "memory", self.sim.now)
+            if traced:
+                self._record(MessageType.MEM_WR, addr, self.name, "memory", self.sim.now)
             self.memif.access_ps(addr, self.sim.now + self.snoop_rt_ps)
             block.state = MesiState.EXCLUSIVE
         if count_only:
@@ -224,11 +239,12 @@ class SharedLLC(Component):
             )
         # GO-WritePull authorizes the writeback; data lands in the LLC,
         # then GO-I invalidates the peer copy.
-        self._record(MessageType.GO_WRITE_PULL, addr, self.name, requester, self.sim.now)
+        if self.trace.enabled:
+            self._record(MessageType.GO_WRITE_PULL, addr, self.name, requester, self.sim.now)
+            self._record(MessageType.DATA, addr, requester, self.name, self.sim.now)
         block.owner = None
         block.sharers.clear()
         block.state = MesiState.MODIFIED
-        self._record(MessageType.DATA, addr, requester, self.name, self.sim.now)
         self._complete(requester, addr, MessageType.GO_I, 0, on_done)
 
     def _clean_evict(self, requester: str, addr: int, on_done: Callable[[], None]) -> None:
@@ -253,11 +269,13 @@ class SharedLLC(Component):
         for peer_id in sorted(victim.sharers | ({victim.owner} if victim.owner else set())):
             peer = self._peers.get(peer_id)
             if peer is not None:
-                self._record(MessageType.SNP_INV, victim_addr, self.name, peer_id, self.sim.now)
+                if self.trace.enabled:
+                    self._record(MessageType.SNP_INV, victim_addr, self.name, peer_id, self.sim.now)
                 peer.snoop(MessageType.SNP_INV, victim_addr)
         if victim.dirty:
             self.writebacks += 1
-            self._record(MessageType.MEM_WR, victim_addr, self.name, "memory", self.sim.now)
+            if self.trace.enabled:
+                self._record(MessageType.MEM_WR, victim_addr, self.name, "memory", self.sim.now)
             self.memif.access_ps(victim_addr, self.sim.now)
 
     # ------------------------------------------------------------------
@@ -271,9 +289,9 @@ class SharedLLC(Component):
         extra_ps: int,
         on_done: Callable[[], None],
     ) -> None:
-        done_at = self.sim.now + extra_ps
-        self._record(go, addr, self.name, requester, done_at)
-        self.schedule(extra_ps, self._finish, addr, on_done)
+        if self.trace.enabled:
+            self._record(go, addr, self.name, requester, self.sim.now + extra_ps)
+        self.sim.schedule_after(extra_ps, self._finish, (addr, on_done))
 
     def _finish(self, addr: int, on_done: Callable[[], None]) -> None:
         on_done()
@@ -285,4 +303,8 @@ class SharedLLC(Component):
             self._busy.pop(addr, None)
 
     def _record(self, mtype: MessageType, addr: int, src: str, dst: str, when: int) -> None:
-        self.trace.record(CoherenceMessage(mtype, addr, src, dst, when))
+        # Gate on the flag here so a disabled trace never pays for
+        # CoherenceMessage construction.
+        trace = self.trace
+        if trace.enabled:
+            trace.record(CoherenceMessage(mtype, addr, src, dst, when))

@@ -45,14 +45,60 @@ ALLOWED_TRANSITIONS: Dict[Tuple[MesiState, str], FrozenSet[MesiState]] = {
 }
 
 
+# Flattened legality table: membership means the transition is legal.
+# A single set probe replaces the two-stage get + frozenset membership
+# test on the hot path.  This is a snapshot of ALLOWED_TRANSITIONS;
+# code that mutates the public dict (tests, protocol experiments) must
+# call rebuild_table() afterwards or restrictions will not be enforced.
+def _flatten() -> FrozenSet[Tuple[MesiState, str, MesiState]]:
+    return frozenset(
+        (current, event, target)
+        for (current, event), allowed in ALLOWED_TRANSITIONS.items()
+        for target in allowed
+    )
+
+
+_LEGAL = _flatten()
+
+
+def rebuild_table() -> None:
+    """Re-snapshot ALLOWED_TRANSITIONS after mutating it."""
+    global _LEGAL
+    _LEGAL = _flatten()
+
+# When True, check_transition trusts the caller and skips validation
+# entirely.  Meant for measurement runs on configurations whose
+# protocol behavior has already been validated by the test suite.
+_FAST = False
+
+
+def set_fast_mode(enabled: bool) -> bool:
+    """Toggle validation-free transitions; returns the previous mode."""
+    global _FAST
+    previous = _FAST
+    _FAST = bool(enabled)
+    return previous
+
+
+def fast_mode() -> bool:
+    """Whether transition validation is currently skipped."""
+    return _FAST
+
+
 def check_transition(current: MesiState, event: str, target: MesiState) -> MesiState:
     """Validate ``current --event--> target``; returns ``target``."""
+    if _FAST:
+        return target
+    if (current, event, target) in _LEGAL:
+        return target
+    # Cold path: consult the public table directly so transitions added
+    # to ALLOWED_TRANSITIONS after import are still honored.
     allowed = ALLOWED_TRANSITIONS.get((current, event))
     if allowed is None:
         raise ProtocolError(f"no transition for event {event!r} in state {current.value}")
-    if target not in allowed:
-        raise ProtocolError(
-            f"illegal transition {current.value} --{event}--> {target.value};"
-            f" allowed: {sorted(s.value for s in allowed)}"
-        )
-    return target
+    if target in allowed:
+        return target
+    raise ProtocolError(
+        f"illegal transition {current.value} --{event}--> {target.value};"
+        f" allowed: {sorted(s.value for s in allowed)}"
+    )

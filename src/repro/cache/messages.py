@@ -51,13 +51,20 @@ class CoherenceMessage:
 
 
 class ProtocolTrace:
-    """Ordered record of coherence messages (the Fig. 7 ladder)."""
+    """Ordered record of coherence messages (the Fig. 7 ladder).
 
-    def __init__(self) -> None:
+    ``enabled`` gates collection: hot emitters check the flag *before*
+    constructing a :class:`CoherenceMessage`, so a disabled trace costs
+    a single attribute read per protocol message.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
         self.messages: List[CoherenceMessage] = []
+        self.enabled = enabled
 
     def record(self, msg: CoherenceMessage) -> None:
-        self.messages.append(msg)
+        if self.enabled:
+            self.messages.append(msg)
 
     def types(self) -> List[MessageType]:
         return [m.mtype for m in self.messages]
@@ -76,3 +83,17 @@ class ProtocolTrace:
 
     def render(self) -> str:
         return "\n".join(str(m) for m in self.messages)
+
+
+class NullProtocolTrace(ProtocolTrace):
+    """A permanently disabled trace for measurement runs.
+
+    Behaves like an empty :class:`ProtocolTrace`; ``record`` is a no-op
+    even if ``enabled`` is flipped by accident.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+    def record(self, msg: CoherenceMessage) -> None:  # pragma: no cover - trivial
+        pass

@@ -10,6 +10,7 @@ Usage::
     python -m repro sweep my_sweep.json --out runs/mine
     python -m repro report runs/quick
     python -m repro compare runs/a runs/b
+    python -m repro bench --quick
 """
 
 from __future__ import annotations
@@ -138,6 +139,26 @@ def _cmd_report(args: argparse.Namespace, out: IO[str]) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace, out: IO[str]) -> int:
+    from repro import bench
+    from repro.cache.mesi import set_fast_mode
+
+    # Validation stays ON by default so the recorded numbers (above
+    # all sweep_quick.wall_s) measure exactly what `repro sweep` users
+    # pay; --fast opts validated configs into the MESI fast mode.
+    previous = set_fast_mode(args.fast)
+    try:
+        payload = bench.run_bench(
+            quick=args.quick, progress=lambda line: out.write(f"  {line}\n")
+        )
+    finally:
+        set_fast_mode(previous)
+    path = bench.write_bench(payload, args.out or bench.DEFAULT_OUT)
+    out.write(bench.render(payload))
+    out.write(f"\nwrote {path}\n")
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace, out: IO[str]) -> int:
     from repro.experiments import ResultStore, compare_runs
 
@@ -192,6 +213,20 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare", help="delta table between two stored runs")
     compare.add_argument("run_a", help="baseline run directory")
     compare.add_argument("run_b", help="comparison run directory")
+
+    bench = sub.add_parser(
+        "bench", help="run hot-path microbenchmarks, write BENCH_engine.json"
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="smaller workloads (CI smoke sizes)"
+    )
+    bench.add_argument(
+        "--out", help="output JSON path (default: BENCH_engine.json)"
+    )
+    bench.add_argument(
+        "--fast", action="store_true",
+        help="skip MESI transition validation (validated configs only)",
+    )
     return parser
 
 
@@ -202,6 +237,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "report": _cmd_report,
     "compare": _cmd_compare,
+    "bench": _cmd_bench,
 }
 
 

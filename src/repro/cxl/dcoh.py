@@ -63,7 +63,9 @@ class Dcoh(Component):
         self.reads += 1
         addr = line_base(addr)
         req_ps = self.profile.cycles_ps(self.profile.dcoh_request_cycles)
-        self.schedule(req_ps, self._tag_lookup, addr, on_done, exclusive, extra_rt_ps)
+        self.sim.schedule_after(
+            req_ps, self._tag_lookup, (addr, on_done, exclusive, extra_rt_ps)
+        )
 
     def _tag_lookup(
         self,
@@ -80,16 +82,13 @@ class Dcoh(Component):
             data_done = tag_done + self.hmc.data_ps
             resp = self.profile.cycles_ps(self.profile.dcoh_response_cycles)
             result = DcohResult(addr, hmc_hit=True, llc_hit=False, dirty_victim=False)
-            self.schedule(data_done + resp - self.sim.now, on_done, result)
+            self.sim.schedule_after(data_done + resp - self.sim.now, on_done, (result,))
             return
         # Miss (or ownership upgrade): go to the host home agent.
-        self.schedule(
+        self.sim.schedule_after(
             tag_done - self.sim.now,
             self._to_host,
-            addr,
-            on_done,
-            exclusive,
-            extra_rt_ps,
+            (addr, on_done, exclusive, extra_rt_ps),
         )
 
     def _to_host(
@@ -103,13 +102,16 @@ class Dcoh(Component):
         outbound_extra = extra_rt_ps // 2
         inbound_extra = extra_rt_ps - outbound_extra
         llc_was_hit_holder = [False]
+        # index/tag computed once; the fill after the host round trip
+        # reuses it.
+        probe = self.hmc.array.index_tag(addr)
 
         def at_host() -> None:
             llc_was_hit_holder[0] = self.llc.holds(addr)
             self.llc.request(self.name, op, addr, host_done)
 
         def host_done() -> None:
-            self.schedule(
+            self.sim.schedule_after(
                 self.flexbus.oneway_ps + inbound_extra, back_at_device
             )
 
@@ -118,7 +120,7 @@ class Dcoh(Component):
                 self.profile.dcoh_fill_cycles + self.profile.hmc_fill_cycles
             )
             state = MesiState.EXCLUSIVE if exclusive else MesiState.SHARED
-            _block, victim = self.hmc.fill(addr, state)
+            _block, victim = self.hmc.fill(addr, state, probe=probe)
             dirty_victim = victim is not None and victim[1].dirty
             if dirty_victim:
                 self.evictions_issued += 1
@@ -131,10 +133,10 @@ class Dcoh(Component):
                 llc_hit=llc_was_hit_holder[0],
                 dirty_victim=dirty_victim,
             )
-            self.schedule(fill_ps + resp, on_done, result)
+            self.sim.schedule_after(fill_ps + resp, on_done, (result,))
 
         self.flexbus.traffic[FlexBusChannel.CACHE] += 1
-        self.schedule(self.flexbus.oneway_ps + outbound_extra, at_host)
+        self.sim.schedule_after(self.flexbus.oneway_ps + outbound_extra, at_host)
 
     # ------------------------------------------------------------------
     # D2H coherent write: read-for-ownership then silent M upgrade

@@ -18,7 +18,13 @@ class Pmu:
     def __init__(self, name: str = "pmu") -> None:
         self.name = name
         self._issue_ps: Dict[int, int] = {}
-        self.latencies = Histogram(f"{name}.latency")
+        # Completion-path hot loop appends raw latencies to a plain
+        # list; the Histogram is populated lazily in one batched extend
+        # when `latencies` is first read (and again only for samples
+        # recorded since the previous read).
+        self._lat_values: List[int] = []
+        self._lat_flushed = 0
+        self._latencies = Histogram(f"{name}.latency")
         self.completions: List[Tuple[int, int]] = []   # (req id, completion ps)
         self.first_issue_ps: Optional[int] = None
         self.last_completion_ps: Optional[int] = None
@@ -32,9 +38,19 @@ class Pmu:
         issue = self._issue_ps.pop(req_id, None)
         if issue is None:
             raise KeyError(f"completion for unknown request {req_id}")
-        self.latencies.add(now_ps - issue)
+        self._lat_values.append(now_ps - issue)
         self.completions.append((req_id, now_ps))
         self.last_completion_ps = now_ps
+
+    @property
+    def latencies(self) -> Histogram:
+        """Latency distribution (batched flush of pending samples)."""
+        flushed = self._lat_flushed
+        values = self._lat_values
+        if flushed < len(values):
+            self._latencies.extend(values[flushed:])
+            self._lat_flushed = len(values)
+        return self._latencies
 
     @property
     def outstanding(self) -> int:
@@ -67,7 +83,9 @@ class Pmu:
 
     def reset(self) -> None:
         self._issue_ps.clear()
-        self.latencies.reset()
+        self._lat_values.clear()
+        self._lat_flushed = 0
+        self._latencies.reset()
         self.completions.clear()
         self.first_issue_ps = None
         self.last_completion_ps = None

@@ -10,7 +10,7 @@ from repro.sim.clock import Clock, GHZ, MHZ, NS, PS, US
 from repro.sim.component import Component, Port
 from repro.sim.queueing import BoundedQueue, CreditPool, QueueFullError
 from repro.sim.stats import Counter, Histogram, RunningMean
-from repro.sim.trace import TraceLog, TraceRecord, Tracer
+from repro.sim.trace import NULL_TRACER, NullTracer, TraceLog, TraceRecord, Tracer
 
 __all__ = [
     "Event",
@@ -32,4 +32,6 @@ __all__ = [
     "TraceLog",
     "TraceRecord",
     "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
 ]

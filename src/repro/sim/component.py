@@ -12,15 +12,29 @@ from typing import Any, Callable, Optional
 
 from repro.sim.clock import Clock
 from repro.sim.engine import Simulator
+from repro.sim.trace import NULL_TRACER, TraceLog, Tracer
 
 
 class Component:
-    """Base class for every simulated hardware block."""
+    """Base class for every simulated hardware block.
+
+    Every component carries a ``tracer``; by default it is the shared
+    null tracer, so ``self.tracer.emit(...)`` is zero-cost until a real
+    trace log is attached with :meth:`attach_trace`.
+    """
+
+    #: Class-level default: tracing disabled at zero cost.
+    tracer = NULL_TRACER
 
     def __init__(self, sim: Simulator, name: str, clock: Optional[Clock] = None) -> None:
         self.sim = sim
         self.name = name
         self.clock = clock
+
+    def attach_trace(self, log: TraceLog) -> Tracer:
+        """Bind this component to ``log``; returns the new tracer."""
+        self.tracer = Tracer(log, self.name, lambda: self.sim.now)
+        return self.tracer
 
     def delay_cycles(self, n: float) -> int:
         """Convert ``n`` cycles of this component's clock to picoseconds."""
@@ -29,7 +43,19 @@ class Component:
         return self.clock.cycles(n)
 
     def schedule(self, delay_ps: int, callback: Callable[..., None], *args: Any) -> None:
-        self.sim.schedule(delay_ps, callback, *args, label=self.name)
+        """Schedule on the fast path (not cancellable, no label).
+
+        Keeps the negative-delay guard: this is the generic entry point
+        for arbitrary components, and silently rewinding simulated time
+        would corrupt event ordering with no error.  Audited hot loops
+        that guarantee non-negative delays call ``sim.schedule_after``
+        directly.
+        """
+        if delay_ps < 0:
+            raise ValueError(
+                f"{self.name}: cannot schedule into the past (delay={delay_ps})"
+            )
+        self.sim.schedule_after(delay_ps, callback, args)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}({self.name!r})"
@@ -68,12 +94,12 @@ class Port:
         if self._handler is None:
             raise RuntimeError(f"port {self.name!r} is not connected")
         self.sent += 1
-        self.sim.schedule(
-            self.latency_ps + extra_delay_ps,
-            self._deliver,
-            payload,
-            label=self.name,
-        )
+        delay_ps = self.latency_ps + extra_delay_ps
+        if delay_ps < 0:
+            raise ValueError(
+                f"port {self.name!r}: cannot deliver into the past (delay={delay_ps})"
+            )
+        self.sim.schedule_after(delay_ps, self._deliver, (payload,))
 
     def _deliver(self, payload: Any) -> None:
         self.delivered += 1

@@ -1,15 +1,42 @@
 """Event queue and simulator core.
 
-The engine is a classic calendar built on a binary heap.  Events carry a
-monotonically increasing sequence number so that two events scheduled for
-the same picosecond fire in scheduling order, which keeps protocol
-interleavings deterministic run-to-run.
+The engine is a classic calendar built on a binary heap.  Heap entries
+are small mutable lists ``[when, seq, callback, args, event]`` so that
+ordering is decided by C-level integer comparison on ``when``/``seq``
+(the monotonically increasing sequence number keeps same-picosecond
+events in scheduling order, which keeps protocol interleavings
+deterministic run-to-run) and the drain loop never calls a Python
+``__lt__``.  Entries are recycled through a free-list, so steady-state
+scheduling does no per-event allocation.
+
+Two scheduling tiers exist:
+
+* :meth:`Simulator.schedule` — the validated public path.  It returns
+  an :class:`Event` handle that supports :meth:`Event.cancel`.
+* :meth:`Simulator.schedule_after` — the trusted fast path used by
+  internal components (:class:`repro.sim.component.Component`,
+  :class:`repro.sim.component.Port`).  It skips validation, allocates
+  no handle and cannot be cancelled.  Callers must pass a non-negative
+  delay; a negative delay would rewind simulated time.
+
+Cancellation is lazy: :meth:`Event.cancel` only marks the handle and
+bumps the owning simulator's cancel counter; the dead entry is dropped
+when it reaches the top of the heap.  When cancelled entries outnumber
+half the calendar the heap is compacted in place.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
+
+# Upper bound on the entry free-list; beyond this, popped entries are
+# simply dropped for the garbage collector.
+_POOL_MAX = 4096
+
+# Heap compaction threshold: compact when the calendar holds at least
+# this many entries and more than half of them are cancelled.
+_COMPACT_MIN = 64
 
 
 class Event:
@@ -19,7 +46,7 @@ class Event:
     holds them to call :meth:`cancel`.
     """
 
-    __slots__ = ("when", "seq", "callback", "args", "cancelled", "label")
+    __slots__ = ("when", "seq", "callback", "args", "cancelled", "label", "_sim")
 
     def __init__(
         self,
@@ -28,6 +55,7 @@ class Event:
         callback: Callable[..., None],
         args: Tuple[Any, ...],
         label: str = "",
+        sim: Optional["Simulator"] = None,
     ) -> None:
         self.when = when
         self.seq = seq
@@ -35,10 +63,15 @@ class Event:
         self.args = args
         self.cancelled = False
         self.label = label
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Mark the event dead; the engine drops it when popped."""
-        self.cancelled = True
+        """Mark the event dead; the engine drops it lazily when popped."""
+        if not self.cancelled:
+            self.cancelled = True
+            sim = self._sim
+            if sim is not None:
+                sim._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.when, self.seq) < (other.when, other.seq)
@@ -54,8 +87,11 @@ class Simulator:
     def __init__(self) -> None:
         self._now: int = 0
         self._seq: int = 0
-        self._heap: List[Event] = []
+        # Entries are [when, seq, callback, args, event_or_None].
+        self._heap: List[list] = []
         self._executed: int = 0
+        self._cancelled: int = 0
+        self._pool: List[list] = []
 
     @property
     def now(self) -> int:
@@ -83,8 +119,19 @@ class Simulator:
         if delay_ps < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay_ps})")
         self._seq += 1
-        event = Event(self._now + delay_ps, self._seq, callback, args, label)
-        heapq.heappush(self._heap, event)
+        when = self._now + delay_ps
+        event = Event(when, self._seq, callback, args, label, self)
+        pool = self._pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = when
+            entry[1] = self._seq
+            entry[2] = callback
+            entry[3] = args
+            entry[4] = event
+        else:
+            entry = [when, self._seq, callback, args, event]
+        heapq.heappush(self._heap, entry)
         return event
 
     def schedule_at(
@@ -97,48 +144,150 @@ class Simulator:
         """Schedule ``callback(*args)`` at absolute time ``when_ps``."""
         return self.schedule(when_ps - self._now, callback, *args, label=label)
 
+    def schedule_after(
+        self,
+        delay_ps: int,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+    ) -> None:
+        """Trusted fast-path scheduling for internal components.
+
+        Skips validation, allocates no :class:`Event` handle (so the
+        event cannot be cancelled or labelled) and passes ``args`` as a
+        tuple rather than varargs.  The caller guarantees
+        ``delay_ps >= 0``.  Ordering relative to :meth:`schedule` is
+        preserved: both paths share one sequence counter.
+        """
+        seq = self._seq + 1
+        self._seq = seq
+        pool = self._pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = self._now + delay_ps
+            entry[1] = seq
+            entry[2] = callback
+            entry[3] = args
+            # entry[4] is already None for pooled entries.
+        else:
+            entry = [self._now + delay_ps, seq, callback, args, None]
+        heapq.heappush(self._heap, entry)
+
+    def _note_cancel(self) -> None:
+        """Lazy-deletion bookkeeping; compacts a mostly-dead calendar."""
+        self._cancelled += 1
+        heap = self._heap
+        if len(heap) >= _COMPACT_MIN and self._cancelled * 2 > len(heap):
+            live = [e for e in heap if e[4] is None or not e[4].cancelled]
+            heap[:] = live
+            heapq.heapify(heap)
+            self._cancelled = 0
+
+    def _recycle(self, entry: list) -> None:
+        entry[2] = entry[3] = entry[4] = None
+        if len(self._pool) < _POOL_MAX:
+            self._pool.append(entry)
+
+    def _next_live_when(self) -> Optional[int]:
+        """Timestamp of the next non-cancelled event, draining dead ones."""
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            event = entry[4]
+            if event is not None and event.cancelled:
+                heapq.heappop(heap)
+                self._cancelled -= 1
+                self._recycle(entry)
+                continue
+            return entry[0]
+        return None
+
     def run(self, until_ps: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Drain the calendar.
 
         Runs until the calendar is empty, until simulated time would pass
         ``until_ps``, or until ``max_events`` events have fired, whichever
         comes first.  Returns the number of events executed by this call.
+
+        Regardless of which condition stops the run, when ``until_ps``
+        is given and no live event remains at or before it, the clock
+        advances to ``until_ps`` (idle time passes).
         """
         executed_before = self._executed
-        while self._heap:
-            event = self._heap[0]
-            if event.cancelled:
-                heapq.heappop(self._heap)
+        # Hot loop: hoist bound methods and attributes into locals and
+        # inline entry recycling.  The heap and pool list objects are
+        # stable across callbacks (callbacks only push onto them), so
+        # holding references is safe.
+        heap = self._heap
+        pool = self._pool
+        heappop = heapq.heappop
+        limit = None if max_events is None else executed_before + max_events
+        while heap:
+            entry = heap[0]
+            event = entry[4]
+            if event is not None and event.cancelled:
+                heappop(heap)
+                self._cancelled -= 1
+                entry[2] = entry[3] = entry[4] = None
+                if len(pool) < _POOL_MAX:
+                    pool.append(entry)
                 continue
-            if until_ps is not None and event.when > until_ps:
-                self._now = until_ps
+            if until_ps is not None and entry[0] > until_ps:
                 break
-            if max_events is not None and self._executed - executed_before >= max_events:
+            if limit is not None and self._executed >= limit:
                 break
-            heapq.heappop(self._heap)
-            self._now = event.when
+            heappop(heap)
+            self._now = entry[0]
             self._executed += 1
-            event.callback(*event.args)
-        else:
-            if until_ps is not None and until_ps > self._now:
+            callback = entry[2]
+            args = entry[3]
+            if event is not None:
+                # Detach the handle so a stale cancel() after firing
+                # cannot inflate the lazy-deletion counter.
+                event._sim = None
+            entry[2] = entry[3] = entry[4] = None
+            if len(pool) < _POOL_MAX:
+                pool.append(entry)
+            callback(*args)
+        # Unified horizon handling for every exit path (calendar empty,
+        # event beyond horizon, or max_events reached).
+        if until_ps is not None and until_ps > self._now:
+            next_when = self._next_live_when()
+            if next_when is None or next_when > until_ps:
                 self._now = until_ps
         return self._executed - executed_before
 
     def step(self) -> bool:
         """Fire exactly one live event.  Returns False if none remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            event = entry[4]
+            if event is not None and event.cancelled:
+                self._cancelled -= 1
+                self._recycle(entry)
                 continue
-            self._now = event.when
+            self._now = entry[0]
             self._executed += 1
-            event.callback(*event.args)
+            callback = entry[2]
+            args = entry[3]
+            if event is not None:
+                event._sim = None
+            self._recycle(entry)
+            callback(*args)
             return True
         return False
 
     def reset(self) -> None:
         """Clear the calendar and rewind time to zero."""
+        # Detach outstanding handles so a stale cancel() on a pre-reset
+        # Event cannot inflate the lazy-deletion counter.
+        for entry in self._heap:
+            event = entry[4]
+            if event is not None:
+                event._sim = None
         self._heap.clear()
         self._now = 0
         self._seq = 0
         self._executed = 0
+        self._cancelled = 0
+        self._pool.clear()

@@ -117,3 +117,21 @@ class Tracer:
 
     def emit(self, event: str, **fields: Any) -> None:
         self.log.emit(self.now(), self.component, event, **fields)
+
+
+class NullTracer:
+    """Null-object tracer: ``emit`` is a no-op.
+
+    Components hold :data:`NULL_TRACER` by default so emitting a trace
+    point costs one method call and nothing else when tracing is off;
+    attaching a real :class:`Tracer` opts a component in.
+    """
+
+    __slots__ = ()
+
+    def emit(self, event: str, **fields: Any) -> None:
+        pass
+
+
+#: Shared process-wide null tracer instance.
+NULL_TRACER = NullTracer()

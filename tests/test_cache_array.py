@@ -128,3 +128,97 @@ def test_peek_does_not_touch_lru():
     arr.peek(0)  # no LRU update: line 0 stays oldest
     _b, victim = arr.insert(256, MesiState.EXCLUSIVE)
     assert victim[0] == 0
+
+
+# ----------------------------------------------------------------------
+# Statistics contract (see the module docstring in cache/array.py)
+# ----------------------------------------------------------------------
+
+def test_lookup_without_touch_still_counts():
+    arr = small_array()
+    arr.insert(0, MesiState.EXCLUSIVE)
+    arr.lookup(0, touch=False)
+    arr.lookup(64, touch=False)
+    assert arr.hits == 1
+    assert arr.misses == 1
+
+
+def test_lookup_count_false_leaves_stats_alone():
+    arr = small_array()
+    arr.insert(0, MesiState.EXCLUSIVE)
+    assert arr.lookup(0, count=False) is not None
+    assert arr.lookup(64, count=False) is None
+    assert arr.hits == 0
+    assert arr.misses == 0
+
+
+def test_lookup_touch_false_does_not_update_lru():
+    arr = small_array()
+    arr.insert(0, MesiState.EXCLUSIVE)
+    arr.insert(128, MesiState.EXCLUSIVE)
+    arr.lookup(0, touch=False)  # counted, but line 0 stays oldest
+    _b, victim = arr.insert(256, MesiState.EXCLUSIVE)
+    assert victim[0] == 0
+
+
+def test_peek_counts_no_stats():
+    arr = small_array()
+    arr.insert(0, MesiState.EXCLUSIVE)
+    arr.peek(0)
+    arr.peek(64)
+    assert arr.hits == 0
+    assert arr.misses == 0
+
+
+def test_miss_then_fill_counts_one_miss():
+    # The canonical controller sequence: a counted lookup miss, then
+    # the fill when data returns.  Exactly one miss, zero hits.
+    arr = small_array()
+    assert arr.lookup(0) is None
+    arr.insert(0, MesiState.EXCLUSIVE)
+    assert arr.misses == 1
+    assert arr.hits == 0
+    assert arr.lookup(0) is not None
+    assert arr.hits == 1
+    assert arr.misses == 1
+
+
+# ----------------------------------------------------------------------
+# Power-of-two geometry and shift/mask indexing
+# ----------------------------------------------------------------------
+
+def test_non_power_of_two_sets_rejected():
+    with pytest.raises(ValueError):
+        CacheArray(size=3 * 2 * 64, ways=2)  # 3 sets
+
+
+def test_non_power_of_two_line_rejected():
+    with pytest.raises(ValueError):
+        CacheArray(size=192, ways=2, line=48)
+
+
+def test_index_tag_round_trip():
+    arr = CacheArray(size=1024, ways=2)  # 8 sets
+    for addr in (0, 64, 63, 512, 0x12345_67C0, (1 << 40) + 3 * 64 + 17):
+        index, tag = arr.index_tag(addr)
+        assert 0 <= index < arr.num_sets
+        assert arr._block_addr(index, tag) == (addr // 64) * 64
+
+
+def test_insert_with_cached_probe_matches_plain_insert():
+    a = small_array()
+    b = small_array()
+    for addr in (0, 128, 256, 64):
+        a.insert(addr, MesiState.EXCLUSIVE)
+        b.insert(addr, MesiState.EXCLUSIVE, probe=b.index_tag(addr))
+    assert {x for x, _ in a.blocks()} == {x for x, _ in b.blocks()}
+    assert a.evictions == b.evictions
+
+
+def test_blocks_iterates_in_set_index_order():
+    arr = CacheArray(size=1024, ways=2)  # 8 sets
+    # Fill sets out of order; iteration must come back sorted by set.
+    for addr in (7 * 64, 2 * 64, 5 * 64, 0):
+        arr.insert(addr, MesiState.SHARED)
+    indexes = [arr.index_tag(addr)[0] for addr, _b in arr.blocks()]
+    assert indexes == sorted(indexes)

@@ -81,3 +81,28 @@ def test_clear():
     log.emit(0, "c", "e")
     log.clear()
     assert len(log) == 0 and log.dropped == 0
+
+
+def test_null_tracer_is_silent_and_shared():
+    from repro.sim.trace import NULL_TRACER, NullTracer
+
+    NULL_TRACER.emit("anything", value=1)  # no-op, no error
+    assert isinstance(NULL_TRACER, NullTracer)
+
+
+def test_component_attach_trace_opts_in():
+    from repro.sim.component import Component
+    from repro.sim.engine import Simulator
+    from repro.sim.trace import NULL_TRACER
+
+    sim = Simulator()
+    comp = Component(sim, "dut")
+    assert comp.tracer is NULL_TRACER  # zero-cost default
+    log = TraceLog()
+    comp.attach_trace(log)
+    sim.schedule(100, lambda: comp.tracer.emit("fired", n=1))
+    sim.run()
+    records = log.filter(component="dut")
+    assert len(records) == 1
+    assert records[0].time_ps == 100
+    assert records[0].field("n") == 1
