@@ -1,0 +1,70 @@
+"""Build a custom system topology and measure it.
+
+Demonstrates the three steps of the construction layer:
+
+1. declare a Topology (named nodes of registered component kinds),
+2. build it with SystemBuilder against a calibrated config,
+3. drive the constructed components directly.
+
+Also registers the layout under a name so ``topology_by_name`` (and
+therefore any code that takes a topology name) can build it.
+
+Run with: PYTHONPATH=src python examples/custom_topology.py
+"""
+
+from repro.config import fpga_system
+from repro.system import (
+    LinkSpec,
+    NodeSpec,
+    SystemBuilder,
+    Topology,
+    register_topology,
+    topology_by_name,
+)
+
+
+@register_topology("lab-bench")
+def lab_bench_topology(seed: int = 42) -> Topology:
+    """One coherent accelerator + one PCIe DMA engine on a host."""
+    return Topology(
+        name="lab-bench",
+        description="example: accelerator vs. DMA on one host",
+        nodes=(
+            NodeSpec("host", "host", {"seed": seed}),
+            NodeSpec("acc0", "cxl.type1"),
+            NodeSpec("lsu0", "lsu", {"device": "acc0"}),
+            NodeSpec("dma", "dma"),
+        ),
+        links=(
+            LinkSpec("lsu0", "acc0", "d2h"),
+            LinkSpec("acc0", "host", "cxl.flexbus"),
+            LinkSpec("dma", "host", "pcie"),
+        ),
+    )
+
+
+def main() -> None:
+    topology = topology_by_name("lab-bench")
+    print(topology.describe())
+    print()
+
+    system = SystemBuilder(fpga_system()).build(topology)
+    lsu = system.node("lsu0")
+    dma = system.node("dma")
+
+    # Coherent loads: miss the HMC, miss the LLC, hit host memory.
+    addrs = lsu.sequential_lines(0x200000, 32)
+    for addr in addrs:
+        system.llc.flush(addr)
+    loads = lsu.run_latency(addrs)
+    print(f"CXL.cache mem-hit load latency : {loads.median_ns:8.1f} ns")
+
+    # The same 64 B granule over descriptor-driven PCIe DMA.
+    transfer = dma.measure_latency(64, repeats=9)
+    print(f"PCIe DMA 64B read latency      : {transfer.median_ns:8.1f} ns")
+    ratio = transfer.median_ns / loads.median_ns
+    print(f"coherent loads are {ratio:.1f}x faster at cacheline granularity")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,11 @@ Quickstart::
     ptr = system.process.malloc(1 << 20)       # plain malloc
     queue = system.queue("xpu0")               # OpenCL-style queue
 
+Custom systems::
+
+    from repro import SystemBuilder, fpga_system
+    system = SystemBuilder(fpga_system()).build("fanout-2")
+
 Experiments::
 
     from repro.harness import run_experiment
@@ -21,6 +26,7 @@ Experiments::
 from repro.config import asic_system, fpga_system
 from repro.core import CohetSystem, CohetProcess, CommandQueue, Kernel
 from repro.sim import Simulator
+from repro.system import SystemBuilder, Topology
 
 __version__ = "1.0.0"
 
@@ -32,5 +38,7 @@ __all__ = [
     "CommandQueue",
     "Kernel",
     "Simulator",
+    "SystemBuilder",
+    "Topology",
     "__version__",
 ]

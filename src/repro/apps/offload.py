@@ -19,8 +19,7 @@ from typing import Iterable, List, Sequence, Tuple
 from repro.calibration.microbench import CxlTestbench
 from repro.config.system import SystemConfig
 from repro.cxl.transactions import DcohResult
-from repro.devices.dma import DmaEngine
-from repro.sim.engine import Simulator
+from repro.system import SystemBuilder
 
 
 @dataclass(frozen=True)
@@ -90,8 +89,9 @@ class AccessTraceEngine:
     # PCIe side: every touch is a 64B DMA descriptor; writes are ordered
     # ------------------------------------------------------------------
     def run_pcie(self, trace: Sequence[Access]) -> float:
-        sim = Simulator()
-        dma = DmaEngine(sim, self.config.dma)
+        system = SystemBuilder(self.config).build("pcie-dma")
+        sim = system.sim
+        dma = system.node("dma")
         pending = list(trace)
         index = [0]
 

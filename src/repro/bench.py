@@ -141,6 +141,31 @@ def bench_rpc(messages: int = 30) -> Dict[str, Any]:
     return _timed(run)
 
 
+def bench_system_build(builds: int = 25) -> Dict[str, Any]:
+    """Construct the ``fanout-2`` system repeatedly via SystemBuilder.
+
+    Tracks the cost of the declarative construction layer itself —
+    topology instantiation, registry dispatch, host complex + two
+    type-1 devices with LSUs — which sits on every harness's setup
+    path.
+    """
+    from repro.config import fpga_system
+    from repro.system import SystemBuilder
+
+    config = fpga_system()
+
+    def run() -> Dict[str, Any]:
+        builder = SystemBuilder(config)
+        nodes = 0
+        for _ in range(builds):
+            nodes += len(builder.build("fanout-2").nodes)
+        return {"builds": builds, "nodes": nodes}
+
+    result = _timed(run)
+    result["builds_per_sec"] = round(result["builds"] / max(result["wall_s"], 1e-9))
+    return result
+
+
 def bench_sweep(jobs: int = 1) -> Dict[str, Any]:
     """The ``quick`` sweep preset end-to-end (the acceptance workload).
 
@@ -190,6 +215,10 @@ def run_bench(quick: bool = False, progress: Progress = None) -> Dict[str, Any]:
     workloads["rpc"] = bench_rpc(messages=10 if quick else 30)
     note(f"rpc: {workloads['rpc']['wall_s']:.3f}s")
 
+    note("system_build ...")
+    workloads["system_build"] = bench_system_build(builds=5 if quick else 25)
+    note(f"system_build: {workloads['system_build']['builds_per_sec']:,} builds/s")
+
     note("sweep_quick ...")
     workloads["sweep_quick"] = bench_sweep()
     note(f"sweep_quick: {workloads['sweep_quick']['wall_s']:.3f}s")
@@ -226,6 +255,8 @@ def render(payload: Dict[str, Any]) -> str:
             throughput = f"{w['events_per_sec']:,} events/s"
         elif "ops_per_sec" in w:
             throughput = f"{w['ops_per_sec']:,} ops/s"
+        elif "builds_per_sec" in w:
+            throughput = f"{w['builds_per_sec']:,} builds/s"
         else:
             throughput = "-"
         lines.append(f"{name:<16} {w['wall_s']:>10.3f} {throughput:>20}")

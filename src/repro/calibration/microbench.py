@@ -1,9 +1,10 @@
 """Calibration microbenchmark testbench.
 
-Builds the minimal hardware needed for the §VI-A microbenchmarks: an
-LSU behind a type-1 CXL device, the shared LLC, host memory, and a DMA
-engine — then runs the four preconditioned measurements (HMC hit, LLC
-hit, mem hit, DMA) for latency and bandwidth.
+Builds the §VI-A hardware through the :mod:`repro.system` construction
+layer — the ``"microbench"`` topology assembles an LSU behind a type-1
+CXL device, the shared LLC, host memory, and a DMA engine — then runs
+the four preconditioned measurements (HMC hit, LLC hit, mem hit, DMA)
+for latency and bandwidth.
 """
 
 from __future__ import annotations
@@ -11,16 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.cache.llc import SharedLLC
 from repro.config.system import SystemConfig
-from repro.cxl.device import Type1Device
-from repro.devices.dma import DmaEngine, DmaReport
-from repro.devices.lsu import LoadStoreUnit, LsuReport
-from repro.interconnect.noc import NocTopology
-from repro.mem.address import CACHELINE, AddressRange
-from repro.mem.controller import MemoryController
-from repro.mem.interface import MemoryInterface
-from repro.sim.engine import Simulator
+from repro.devices.dma import DmaReport
+from repro.devices.lsu import LsuReport
+from repro.mem.address import CACHELINE
+from repro.system import SystemBuilder
 
 
 class CxlTestbench:
@@ -28,18 +24,16 @@ class CxlTestbench:
 
     def __init__(self, config: SystemConfig, seed: int = 1234) -> None:
         self.config = config
-        self.sim = Simulator()
-        self.memif = MemoryInterface(config.host.memif_oneway_ps)
-        self.controller = MemoryController(
-            config.host.dram, channels=config.host.mem_channels, seed=seed
-        )
-        self.region = AddressRange(0, 1 << 40, "host-dram")
-        self.memif.attach("host", self.region, self.controller)
-        self.llc = SharedLLC(self.sim, config.host, self.memif)
-        self.device = Type1Device(self.sim, config.device, self.llc, name="cxl-dev")
-        self.lsu = LoadStoreUnit(self.sim, self.device.dcoh)
-        self.dma = DmaEngine(self.sim, config.dma)
-        self.topology = NocTopology()
+        self.system = SystemBuilder(config).build("microbench", seed=seed)
+        self.sim = self.system.sim
+        self.memif = self.system.memif
+        self.controller = self.system.host_controller
+        self.region = self.system.host_region
+        self.llc = self.system.llc
+        self.device = self.system.node("cxl-dev")
+        self.lsu = self.system.node("lsu")
+        self.dma = self.system.node("dma")
+        self.topology = self.system.node("noc")
 
     # ------------------------------------------------------------------
     # Fig. 13 / Fig. 15 tiers

@@ -5,7 +5,10 @@ Usage::
     python -m repro list
     python -m repro run fig13 fig15
     python -m repro run all --out results.txt
+    python -m repro run --list
     python -m repro info
+    python -m repro topology list
+    python -m repro topology show fanout-4
     python -m repro sweep --preset quick --jobs 4
     python -m repro sweep my_sweep.json --out runs/mine
     python -m repro report runs/quick
@@ -21,23 +24,38 @@ from pathlib import Path
 from typing import IO, List, Optional
 
 from repro import __version__
-from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    PAPER_EXPERIMENT_IDS,
+    run_experiment,
+)
 
 
-def _cmd_list(_args: argparse.Namespace, out: IO[str]) -> int:
+def _write_experiment_listing(out: IO[str]) -> None:
     width = max(len(name) for name in EXPERIMENTS)
     out.write("available experiments:\n")
     for name in EXPERIMENTS:
         doc = ((EXPERIMENTS[name].__doc__ or "").strip().splitlines() or [""])[0]
         out.write(f"  {name:<{width}}  {doc}\n")
+
+
+def _cmd_list(_args: argparse.Namespace, out: IO[str]) -> int:
+    _write_experiment_listing(out)
     return 0
 
 
 def _cmd_run(args: argparse.Namespace, out: IO[str]) -> int:
+    if args.list:
+        _write_experiment_listing(out)
+        return 0
+    if not args.experiments:
+        sys.stdout.write("run needs experiment id(s), 'all', or --list\n")
+        return 2
     names: List[str] = []
     for name in args.experiments:
         if name == "all":
-            names.extend(EXPERIMENTS)
+            # 'all' is the paper set; extension experiments run by id.
+            names.extend(PAPER_EXPERIMENT_IDS)
         else:
             names.append(name)
     names = list(dict.fromkeys(names))  # 'fig13 all' runs fig13 once
@@ -45,12 +63,39 @@ def _cmd_run(args: argparse.Namespace, out: IO[str]) -> int:
     if unknown:
         # Diagnostics go to the terminal, never into an --out file.
         sys.stdout.write(f"unknown experiment(s): {', '.join(unknown)}\n")
-        sys.stdout.write(f"options: {', '.join(EXPERIMENTS)} or 'all'\n")
+        sys.stdout.write(
+            f"options: {', '.join(EXPERIMENTS)} or 'all' "
+            "(see 'repro run --list' for descriptions)\n"
+        )
         return 2
     for name in names:
         result = run_experiment(name)
         out.write(result.text)
         out.write("\n\n")
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace, out: IO[str]) -> int:
+    from repro.system import topology_by_name, topology_description, topology_names
+
+    if args.action == "list":
+        names = topology_names()
+        width = max(len(name) for name in names)
+        out.write("registered topologies:\n")
+        for name in names:
+            out.write(f"  {name:<{width}}  {topology_description(name)}\n")
+        return 0
+    # show
+    if not args.name:
+        out.write("topology show needs a name (see 'repro topology list')\n")
+        return 2
+    try:
+        topology = topology_by_name(args.name)
+    except ValueError as exc:
+        out.write(f"{exc}\n")
+        return 2
+    out.write(topology.describe())
+    out.write("\n")
     return 0
 
 
@@ -184,11 +229,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one or more experiments (or 'all')")
     run.add_argument(
-        "experiments", nargs="+", help="experiment id(s) (see 'list') or 'all'"
+        "experiments", nargs="*", help="experiment id(s) (see 'list') or 'all'"
     )
     run.add_argument("--out", help="write results to this file instead of stdout")
+    run.add_argument(
+        "--list", action="store_true",
+        help="list experiment ids with descriptions instead of running",
+    )
 
     sub.add_parser("info", help="show calibrated profile summaries")
+
+    topology = sub.add_parser(
+        "topology", help="list or inspect registered system topologies"
+    )
+    topology.add_argument("action", choices=["list", "show"])
+    topology.add_argument(
+        "name", nargs="?", help="topology name (for 'show')"
+    )
 
     sweep = sub.add_parser(
         "sweep", help="run a parameter sweep in parallel, persisting results"
@@ -234,6 +291,7 @@ _COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
     "info": _cmd_info,
+    "topology": _cmd_topology,
     "sweep": _cmd_sweep,
     "report": _cmd_report,
     "compare": _cmd_compare,

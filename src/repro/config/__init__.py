@@ -16,6 +16,7 @@ from repro.config.presets import (
     PCIE_ASIC_1500,
     PCIE_FPGA_400,
     SYSTEMS,
+    UnknownProfileError,
     asic_system,
     fpga_system,
     simcxl_table1_config,
@@ -37,6 +38,7 @@ __all__ = [
     "PCIE_FPGA_400",
     "PCIE_ASIC_1500",
     "SYSTEMS",
+    "UnknownProfileError",
     "fpga_system",
     "asic_system",
     "system_by_name",

@@ -139,18 +139,27 @@ SYSTEMS = {
 }
 
 
+class UnknownProfileError(ValueError):
+    """A profile string does not name a calibrated system preset."""
+
+
 def system_by_name(profile: str) -> SystemConfig:
     """Build a :class:`SystemConfig` from a short profile name.
 
     Accepts the keys of :data:`SYSTEMS` (``"fpga"``/``"asic"``); used by
     the experiment orchestration layer so sweep specs can select a
-    calibrated system with a plain JSON string.
+    calibrated system with a plain JSON string.  This is the single
+    validation point for profile strings — every experiment routes its
+    ``profile`` argument through here, so an unknown name fails with a
+    :class:`UnknownProfileError` listing the valid options instead of
+    silently skipping a ``profile == ...`` branch somewhere downstream.
     """
     try:
         make = SYSTEMS[profile]
     except KeyError:
-        raise KeyError(
-            f"unknown system profile {profile!r}; options: {sorted(SYSTEMS)}"
+        raise UnknownProfileError(
+            f"unknown system profile {profile!r}; valid profiles: "
+            f"{', '.join(sorted(SYSTEMS))}"
         ) from None
     return make()
 

@@ -1,7 +1,8 @@
 """CohetSystem: assemble a full coherent heterogeneous platform.
 
 Builds the Fig. 3 stack bottom-up: simulated hardware (host memory +
-LLC home agent + CXL devices over Flex Bus), the OS level (NUMA init,
+LLC home agent + CXL devices over Flex Bus) through the declarative
+:mod:`repro.system` construction layer, then the OS level (NUMA init,
 unified page table, IOMMU, HMM, drivers), and the user level (process
 with malloc/mmap, compute devices, command queues).
 """
@@ -11,11 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.cache.llc import SharedLLC
 from repro.config.system import SystemConfig
 from repro.core.runtime import CommandQueue, ComputeDevice
 from repro.core.unified_memory import CohetProcess
-from repro.cxl.device import DeviceType, Type1Device, Type2Device, Type3Device
+from repro.cxl.device import DeviceType
 from repro.cxl.io import enumerate_devices
 from repro.kernel.driver import XpuDriver
 from repro.kernel.fabric import FabricManager
@@ -24,9 +24,16 @@ from repro.kernel.ats import Iommu
 from repro.kernel.numa import NodeKind, NumaRegistry, numa_init
 from repro.kernel.page_table import UnifiedPageTable
 from repro.mem.address import AddressRange, split_evenly
-from repro.mem.controller import MemoryController
-from repro.mem.interface import MemoryInterface
-from repro.sim.engine import Simulator
+from repro.system import LinkSpec, NodeSpec, SystemBuilder, Topology, topology_by_name
+
+#: Component kind registered for each CXL device type.
+DEVICE_KINDS: Dict[DeviceType, str] = {
+    DeviceType.TYPE1: "cxl.type1",
+    DeviceType.TYPE2: "cxl.type2",
+    DeviceType.TYPE3: "cxl.type3",
+}
+
+_KIND_TYPES: Dict[str, DeviceType] = {v: k for k, v in DEVICE_KINDS.items()}
 
 
 @dataclass
@@ -52,46 +59,29 @@ class CohetSystem:
         host_bytes: Optional[int] = None,
     ) -> None:
         self.config = config
-        self.sim = Simulator()
 
-        # ---------------- hardware: host memory + home agent ----------
+        # ---------------- hardware: built from the topology -----------
         host_bytes = host_bytes or config.host.dram_size
-        self.host_region = AddressRange(self.HOST_BASE, host_bytes, "host-dram")
-        self.memif = MemoryInterface(config.host.memif_oneway_ps)
-        self.host_controller = MemoryController(
-            config.host.dram,
-            channels=config.host.mem_channels,
-            ii_ps=0,
-        )
-        self.memif.attach("host", self.host_region, self.host_controller)
-        self.llc = SharedLLC(self.sim, config.host, self.memif)
+        self.topology = self._hardware_topology(devices, host_bytes)
+        built = SystemBuilder(config).build(self.topology)
+        self.built = built
+        self.sim = built.sim
+        self.host_region = built.host_region
+        self.memif = built.memif
+        self.host_controller = built.host_controller
+        self.llc = built.llc
 
-        # ---------------- hardware: CXL devices -----------------------
-        self.devices: Dict[str, object] = {}
-        xpu_regions: List[AddressRange] = []
-        expander_regions: List[AddressRange] = []
-        cursor = self.HDM_BASE
-        for spec in devices:
-            if spec.device_type is DeviceType.TYPE1:
-                device = Type1Device(self.sim, config.device, self.llc, name=spec.name)
-            else:
-                if spec.hdm_bytes <= 0:
-                    raise ValueError(f"{spec.name}: type-2/3 devices need hdm_bytes")
-                hdm = AddressRange(cursor, cursor + spec.hdm_bytes, f"{spec.name}-hdm")
-                cursor = hdm.end
-                if spec.device_type is DeviceType.TYPE2:
-                    xpu_regions.append(hdm)
-                    device = Type2Device(
-                        self.sim, config.device, config.host, self.llc, self.memif,
-                        hdm, name=spec.name,
-                    )
-                else:
-                    expander_regions.append(hdm)
-                    device = Type3Device(
-                        self.sim, config.device, config.host, self.memif,
-                        hdm, name=spec.name,
-                    )
-            self.devices[spec.name] = device
+        self.devices: Dict[str, object] = {
+            spec.name: built.node(spec.name) for spec in devices
+        }
+        xpu_regions: List[AddressRange] = [
+            built.node(s.name).hdm for s in devices
+            if s.device_type is DeviceType.TYPE2
+        ]
+        expander_regions: List[AddressRange] = [
+            built.node(s.name).hdm for s in devices
+            if s.device_type is DeviceType.TYPE3
+        ]
 
         # BIOS: enumerate config spaces, size BARs, map MMIO windows.
         slots = [
@@ -136,6 +126,70 @@ class CohetSystem:
             self.compute_devices[name] = ComputeDevice(name, node, is_xpu=True)
 
     # ------------------------------------------------------------------
+    # Topology plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _hardware_topology(
+        devices: Sequence[DeviceSpec], host_bytes: int
+    ) -> Topology:
+        """Translate :class:`DeviceSpec` requests into a builder topology."""
+        nodes = [NodeSpec("host", "host", {"size": host_bytes})]
+        links = []
+        for spec in devices:
+            params = (
+                {"hdm_bytes": spec.hdm_bytes}
+                if spec.device_type is not DeviceType.TYPE1
+                else {}
+            )
+            nodes.append(NodeSpec(spec.name, DEVICE_KINDS[spec.device_type], params))
+            links.append(LinkSpec(spec.name, "host", "cxl.flexbus"))
+        return Topology(
+            name="cohet", nodes=tuple(nodes), links=tuple(links)
+        )
+
+    @staticmethod
+    def device_specs_from_topology(topology: Topology) -> List[DeviceSpec]:
+        """The :class:`DeviceSpec` list encoded by a topology's device nodes."""
+        specs = []
+        for node in topology.nodes:
+            device_type = _KIND_TYPES.get(node.kind)
+            if device_type is None:
+                continue
+            specs.append(
+                DeviceSpec(
+                    node.name,
+                    device_type,
+                    hdm_bytes=int(node.params.get("hdm_bytes", 0)),
+                )
+            )
+        return specs
+
+    @classmethod
+    def from_topology(
+        cls,
+        config: SystemConfig,
+        topology: Topology,
+        host_nodes: int = 1,
+    ) -> "CohetSystem":
+        """Boot a Cohet platform whose hardware is described by ``topology``.
+
+        The topology's ``host`` node may carry a ``size`` param
+        (``None`` means the configured DRAM size); every ``cxl.type*``
+        node becomes one device.
+        """
+        host_bytes: Optional[int] = None
+        for node in topology.nodes:
+            if node.kind == "host":
+                size = node.params.get("size")
+                host_bytes = None if size is None else int(size)
+        return cls(
+            config,
+            host_nodes=host_nodes,
+            devices=cls.device_specs_from_topology(topology),
+            host_bytes=host_bytes,
+        )
+
+    # ------------------------------------------------------------------
     # Convenience
     # ------------------------------------------------------------------
     def queue(self, device_name: str = "cpu") -> CommandQueue:
@@ -151,9 +205,8 @@ class CohetSystem:
 
     @classmethod
     def build_default(cls, config: SystemConfig) -> "CohetSystem":
-        """One host node, one type-2 XPU with 1 GB of device memory."""
-        return cls(
-            config,
-            host_nodes=1,
-            devices=[DeviceSpec("xpu0", DeviceType.TYPE2, hdm_bytes=1 << 30)],
-        )
+        """One host node, one type-2 XPU with 1 GB of device memory.
+
+        Thin wrapper over the registered ``"cohet-default"`` topology.
+        """
+        return cls.from_topology(config, topology_by_name("cohet-default"))

@@ -148,3 +148,59 @@ class Supernode:
     @property
     def free_fabric_bytes(self) -> int:
         return self.manager.free_memory_bytes
+
+
+from repro.system.registry import register_component  # noqa: E402
+
+
+@register_component("supernode.host")
+def _build_supernode_host(builder, system, spec) -> Optional[SupernodeHost]:
+    """One child host of the supernode.
+
+    If the ``supernode.fabric`` node was declared (and therefore built)
+    earlier, resolve against it directly; otherwise return a
+    placeholder that the fabric factory back-fills.
+    """
+    for fabric_spec in system.topology.by_kind("supernode.fabric"):
+        fabric = system.nodes.get(fabric_spec.name)
+        if isinstance(fabric, Supernode):
+            try:
+                return fabric.hosts[spec.name]
+            except KeyError:
+                raise ValueError(
+                    f"supernode host nodes must be named host0..host"
+                    f"{len(fabric.hosts) - 1}; got {spec.name!r}"
+                ) from None
+    return None
+
+
+@register_component("supernode.fabric")
+def _build_supernode_fabric(builder, system, spec) -> Supernode:
+    """Builder factory: the whole supernode (hosts + fabric memory).
+
+    Collects every ``supernode.host`` node declared before this one and
+    builds one :class:`Supernode`; each host node resolves to its
+    :class:`SupernodeHost`.  Host nodes must be named ``host0..hostN-1``
+    (the :func:`repro.system.topology.supernode_topology` convention).
+    """
+    host_specs = system.topology.by_kind("supernode.host")
+    if not host_specs:
+        raise ValueError(
+            f"topology {system.topology.name!r}: supernode.fabric needs "
+            "at least one supernode.host node"
+        )
+    supernode = Supernode(
+        system.config,
+        hosts=len(host_specs),
+        fabric_memory_bytes=int(spec.params.get("fabric_memory_bytes", 4 << 30)),
+        memory_granule=int(spec.params.get("memory_granule", 1 << 30)),
+        switch_traversal_ps=int(spec.params.get("switch_traversal_ps", 70_000)),
+    )
+    for host_spec in host_specs:
+        if host_spec.name not in supernode.hosts:
+            raise ValueError(
+                f"supernode host nodes must be named host0..host{len(host_specs) - 1}; "
+                f"got {host_spec.name!r}"
+            )
+        system.nodes[host_spec.name] = supernode.hosts[host_spec.name]
+    return supernode

@@ -26,6 +26,7 @@ from repro.mem.controller import MemoryController
 from repro.mem.interface import MemoryInterface
 from repro.sim.component import Component
 from repro.sim.engine import Simulator
+from repro.system.registry import register_component
 
 
 class DeviceType(enum.IntEnum):
@@ -108,6 +109,24 @@ class Type2Device(CxlDevice):
         )
 
 
+@register_component("cxl.type1")
+def _build_type1(builder, system, spec) -> Type1Device:
+    """Builder factory: CXL.cache accelerator on the host LLC."""
+    llc = system.require_llc(f"{spec.name} (cxl.type1)")
+    return Type1Device(system.sim, system.config.device, llc, name=spec.name)
+
+
+@register_component("cxl.type2")
+def _build_type2(builder, system, spec) -> Type2Device:
+    """Builder factory: full accelerator; params: ``hdm_bytes``."""
+    llc = system.require_llc(f"{spec.name} (cxl.type2)")
+    hdm = builder.alloc_hdm(spec.name, int(spec.params.get("hdm_bytes", 0)))
+    return Type2Device(
+        system.sim, system.config.device, system.config.host, llc,
+        system.memif, hdm, name=spec.name,
+    )
+
+
 class Type3Device(CxlDevice):
     """Memory expander: CXL.io + CXL.mem only (no HMC/DCOH)."""
 
@@ -129,3 +148,14 @@ class Type3Device(CxlDevice):
             sim, host, profile, self.flexbus, hdm, self.hdm_controller,
             name=f"{name}.cxl.mem",
         )
+
+
+@register_component("cxl.type3")
+def _build_type3(builder, system, spec) -> Type3Device:
+    """Builder factory: memory expander; params: ``hdm_bytes``."""
+    system.require_llc(f"{spec.name} (cxl.type3)")  # host complex (memif)
+    hdm = builder.alloc_hdm(spec.name, int(spec.params.get("hdm_bytes", 0)))
+    return Type3Device(
+        system.sim, system.config.device, system.config.host,
+        system.memif, hdm, name=spec.name,
+    )

@@ -127,3 +127,12 @@ class DmaEngine(Component):
         write's acknowledgement (§V-A.1), so the pair cannot overlap.
         """
         return 2 * self.params.transfer_ps(64)
+
+
+from repro.system.registry import register_component  # noqa: E402
+
+
+@register_component("dma")
+def _build_dma(builder, system, spec) -> DmaEngine:
+    """Builder factory: descriptor-driven PCIe DMA engine."""
+    return DmaEngine(system.sim, system.config.dma, name=spec.name)

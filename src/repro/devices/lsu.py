@@ -162,3 +162,23 @@ class LoadStoreUnit(Component):
 
     def sequential_lines(self, base: int, count: int) -> List[int]:
         return [base + i * CACHELINE for i in range(count)]
+
+
+from repro.system.registry import register_component  # noqa: E402
+
+
+@register_component("lsu")
+def _build_lsu(builder, system, spec) -> LoadStoreUnit:
+    """Builder factory: LSU driving a device's DCOH.
+
+    Params: ``device`` — name of the device node to issue through;
+    defaults to the linked neighbour that exposes a ``dcoh``.
+    """
+    device_name = spec.params.get("device")
+    if device_name is not None:
+        device = system.node(str(device_name))
+        if not hasattr(device, "dcoh"):
+            raise ValueError(f"lsu {spec.name!r}: node {device_name!r} has no dcoh")
+    else:
+        device = system.attached_node(spec.name, "dcoh")
+    return LoadStoreUnit(system.sim, device.dcoh, name=spec.name)

@@ -28,6 +28,17 @@ PRESETS: Dict[str, dict] = {
             {"experiment": "fig18b", "params": {"messages": 20}},
         ],
     },
+    "topology": {
+        # Multi-device fan-out scenarios over the system-construction
+        # layer; quick sizes so CI can sweep them as a smoke test.
+        "name": "topology",
+        "repeats": 1,
+        "base_seed": 1234,
+        "experiments": [
+            {"experiment": "fanout2", "params": {"count": 8, "trials": 2, "bw_count": 256}},
+            {"experiment": "fanout4", "params": {"count": 8, "trials": 2, "bw_count": 256}},
+        ],
+    },
     "paper": {
         "name": "paper",
         "repeats": 1,

@@ -23,8 +23,6 @@ from repro.calibration import reference
 from repro.calibration.metrics import mape
 from repro.calibration.microbench import CxlTestbench
 from repro.config import (
-    asic_system,
-    fpga_system,
     simcxl_table1_config,
     system_by_name,
     testbed_table1_config,
@@ -104,8 +102,8 @@ def fig12_numa_latency(trials: int = 31, profile: str = "fpga") -> ExperimentRes
 def fig13_load_latency(trials: int = 8) -> ExperimentResult:
     """Median 64B load latency per memory tier vs. DMA read at 64B."""
     series: Dict[str, Dict[str, float]] = {}
-    for make in (fpga_system, asic_system):
-        config = make()
+    for profile in ("fpga", "asic"):
+        config = system_by_name(profile)
         measured = {
             "hmc_hit": CxlTestbench(config).latency_hmc_hit(trials=trials).median_ns,
             "llc_hit": CxlTestbench(config).latency_llc_hit(trials=trials).median_ns,
@@ -136,8 +134,8 @@ def fig13_load_latency(trials: int = 8) -> ExperimentResult:
 def fig14_dma_latency(sizes: Tuple[int, ...] = DMA_SWEEP_SIZES) -> ExperimentResult:
     """Median H2D DMA read latency vs. message granularity."""
     series: Dict[str, Dict[int, float]] = {}
-    for make in (fpga_system, asic_system):
-        config = make()
+    for profile in ("fpga", "asic"):
+        config = system_by_name(profile)
         bench = CxlTestbench(config)
         series[config.dma.name] = {
             size: bench.dma.measure_latency(size, repeats=9).median_us
@@ -163,8 +161,8 @@ def fig14_dma_latency(sizes: Tuple[int, ...] = DMA_SWEEP_SIZES) -> ExperimentRes
 def fig15_load_bandwidth() -> ExperimentResult:
     """Average 64B load bandwidth per tier vs. DMA at 64B."""
     series: Dict[str, Dict[str, float]] = {}
-    for make in (fpga_system, asic_system):
-        config = make()
+    for profile in ("fpga", "asic"):
+        config = system_by_name(profile)
         series[config.device.name] = {
             "hmc_hit": CxlTestbench(config).bandwidth_hmc_hit().bandwidth_gbps,
             "llc_hit": CxlTestbench(config).bandwidth_llc_hit().bandwidth_gbps,
@@ -193,8 +191,8 @@ def fig15_load_bandwidth() -> ExperimentResult:
 def fig16_dma_bandwidth(sizes: Tuple[int, ...] = DMA_SWEEP_SIZES) -> ExperimentResult:
     """Average H2D DMA read bandwidth vs. message granularity."""
     series: Dict[str, Dict[int, float]] = {}
-    for make in (fpga_system, asic_system):
-        config = make()
+    for profile in ("fpga", "asic"):
+        config = system_by_name(profile)
         bench = CxlTestbench(config)
         series[config.dma.name] = {
             size: bench.dma.measure_bandwidth(size, descriptors=512).bandwidth_gbps
@@ -413,6 +411,35 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "mape": simulation_error,
 }
 
+#: The paper's tables/figures, in presentation order.  ``repro run all``
+#: expands to exactly this set so its output stays comparable run-over-run
+#: even as extension experiments (fan-outs, ...) join :data:`EXPERIMENTS`.
+PAPER_EXPERIMENT_IDS: Tuple[str, ...] = tuple(EXPERIMENTS)
+
+
+def register_experiment(
+    name: str, runner: Callable[..., ExperimentResult], replace: bool = False
+) -> None:
+    """Add an experiment to the registry (sweeps pick it up for free).
+
+    The runner must accept only JSON-representable keyword arguments so
+    sweep specs can parameterize it.  Registration invalidates the
+    cached signature inspection.
+    """
+    if name in EXPERIMENTS and not replace:
+        raise ValueError(f"experiment {name!r} already registered")
+    EXPERIMENTS[name] = runner
+    _cached_signature.cache_clear()
+
+
+@lru_cache(maxsize=None)
+def _cached_signature(name: str, runner: Callable) -> "inspect.Signature":
+    """Signature inspection is surprisingly costly and was recomputed
+    per spec on every sweep expansion; cache it per registry entry
+    (keyed on the runner too, so re-registration never serves a stale
+    signature)."""
+    return inspect.signature(runner)
+
 
 def experiment_parameters(name: str) -> Dict[str, inspect.Parameter]:
     """Keyword parameters accepted by experiment ``name``.
@@ -427,7 +454,7 @@ def experiment_parameters(name: str) -> Dict[str, inspect.Parameter]:
         raise KeyError(
             f"unknown experiment {name!r}; options: {sorted(EXPERIMENTS)}"
         ) from None
-    return dict(inspect.signature(runner).parameters)
+    return dict(_cached_signature(name, runner).parameters)
 
 
 def spec_parameters(name: str) -> Dict[str, inspect.Parameter]:
@@ -463,3 +490,9 @@ def run_experiment(name: str, **params) -> ExperimentResult:
             f"{', '.join(unknown)}; accepted: {sorted(accepted)}"
         )
     return EXPERIMENTS[name](**params)
+
+
+# Multi-device topology experiments register themselves on import; this
+# must stay after the registry helpers so the module is self-contained
+# for every consumer of EXPERIMENTS.
+from repro.harness import topology_experiments as _topology_experiments  # noqa: E402,F401

@@ -86,3 +86,12 @@ class NocTopology:
 
     def farthest_node(self) -> int:
         return max(self.nodes, key=self.extra_ps)
+
+
+from repro.system.registry import register_component  # noqa: E402
+
+
+@register_component("noc")
+def _build_noc(builder, system, spec) -> NocTopology:
+    """Builder factory: NUMA distance oracle (params forwarded)."""
+    return NocTopology(**dict(spec.params))

@@ -143,3 +143,18 @@ class CxlRaoNic(NicBase):
             self.hmc_hits += 1
         else:
             self.hmc_misses += 1
+
+
+from repro.system.registry import register_component  # noqa: E402
+
+
+@register_component("nic.cxl_rao")
+def _build_cxl_rao_nic(builder, system, spec) -> CxlRaoNic:
+    """Builder factory: RAO NIC on the host LLC; params: ``pe_count``."""
+    llc = system.require_llc(f"{spec.name} (nic.cxl_rao)")
+    pe_count = spec.params.get("pe_count")
+    return CxlRaoNic(
+        system.sim, system.config, llc, HostValues(),
+        pe_count=None if pe_count is None else int(pe_count),
+        name=spec.name,
+    )

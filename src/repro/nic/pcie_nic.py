@@ -91,3 +91,12 @@ class PcieRaoNic(NicBase):
             reads_issued=self.reads_issued,
             writes_issued=self.writes_issued,
         )
+
+
+from repro.system.registry import register_component  # noqa: E402
+
+
+@register_component("nic.pcie_rao")
+def _build_pcie_rao_nic(builder, system, spec) -> PcieRaoNic:
+    """Builder factory: PCIe RAO NIC (needs no host complex)."""
+    return PcieRaoNic(system.sim, system.config, HostValues(), name=spec.name)

@@ -5,16 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
-from repro.cache.llc import SharedLLC
 from repro.config.system import SystemConfig
-from repro.mem.address import AddressRange
-from repro.mem.controller import MemoryController
-from repro.mem.interface import MemoryInterface
-from repro.nic.base import HostValues
 from repro.nic.cxl_nic import CxlRaoNic
 from repro.nic.pcie_nic import PcieRaoNic
 from repro.rao.circustent import CIRCUSTENT_PATTERNS, make_workload
-from repro.sim.engine import Simulator
+from repro.system import SystemBuilder
 
 
 @dataclass
@@ -31,15 +26,6 @@ class RaoComparison:
         return self.cxl_mops / self.pcie_mops
 
 
-def _build_cxl_nic(config: SystemConfig, pe_count: Optional[int]) -> CxlRaoNic:
-    sim = Simulator()
-    memif = MemoryInterface(config.host.memif_oneway_ps)
-    controller = MemoryController(config.host.dram, channels=config.host.mem_channels)
-    memif.attach("host", AddressRange(0, 1 << 40, "host"), controller)
-    llc = SharedLLC(sim, config.host, memif)
-    return CxlRaoNic(sim, config, llc, HostValues(), pe_count=pe_count)
-
-
 def run_rao_comparison(
     config: SystemConfig,
     patterns: Sequence[str] = CIRCUSTENT_PATTERNS,
@@ -48,15 +34,20 @@ def run_rao_comparison(
     seed: int = 7,
     pe_count: Optional[int] = None,
 ) -> Dict[str, RaoComparison]:
-    """Run every pattern on both NICs; returns comparisons keyed by name."""
+    """Run every pattern on both NICs; returns comparisons keyed by name.
+
+    Each pattern gets fresh systems built from the ``"rao-pcie"`` and
+    ``"rao-cxl"`` topologies so no cache state leaks between patterns.
+    """
+    builder = SystemBuilder(config)
     results: Dict[str, RaoComparison] = {}
     for pattern in patterns:
         workload = make_workload(pattern, ops=ops, table_bytes=table_bytes, seed=seed)
 
-        pcie = PcieRaoNic(Simulator(), config, HostValues())
+        pcie: PcieRaoNic = builder.build("rao-pcie").node("pcie-nic")
         pcie_run = pcie.run(workload.requests)
 
-        cxl = _build_cxl_nic(config, pe_count)
+        cxl: CxlRaoNic = builder.build("rao-cxl", pe_count=pe_count).node("cxl-nic")
         cxl.warm()
         cxl_run = cxl.run(workload.requests)
 

@@ -131,3 +131,12 @@ class CxlRpcPipeline:
                         buffer.issue(pf_addr, start_ps + elapsed, miss)
             elapsed += cost
         return elapsed
+
+
+from repro.system.registry import register_component  # noqa: E402
+
+
+@register_component("rpc.cxl")
+def _build_cxl_rpc_pipeline(builder, system, spec) -> CxlRpcPipeline:
+    """Builder factory: the CXL-NIC RPC pipeline (three ser. paths)."""
+    return CxlRpcPipeline(system.config)

@@ -9,6 +9,7 @@ from repro.config.system import SystemConfig
 from repro.rpc.cxl_rpc import CxlRpcPipeline
 from repro.rpc.hyperprotobench import BENCH_NAMES, make_bench
 from repro.rpc.rpcnic import PipelineResult, RpcNicPipeline
+from repro.system import SystemBuilder
 
 
 @dataclass
@@ -52,8 +53,9 @@ def run_rpc_comparison(
     seed: int = 11,
 ) -> Dict[str, RpcComparison]:
     """Run every bench through all four designs."""
-    rpcnic = RpcNicPipeline(config)
-    cxl = CxlRpcPipeline(config)
+    system = SystemBuilder(config).build("rpc")
+    rpcnic: RpcNicPipeline = system.node("rpcnic")
+    cxl: CxlRpcPipeline = system.node("cxl-rpc")
     results: Dict[str, RpcComparison] = {}
     for name in benches:
         bench = make_bench(name, messages=messages, seed=seed)

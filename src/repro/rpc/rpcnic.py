@@ -115,3 +115,12 @@ class RpcNicPipeline:
             )
             times.append(t)
         return PipelineResult("RpcNIC", bench.name, times, verified)
+
+
+from repro.system.registry import register_component  # noqa: E402
+
+
+@register_component("rpc.rpcnic")
+def _build_rpcnic_pipeline(builder, system, spec) -> RpcNicPipeline:
+    """Builder factory: the PCIe RpcNIC (de)serialization pipeline."""
+    return RpcNicPipeline(system.config)

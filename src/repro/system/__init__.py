@@ -1,0 +1,56 @@
+"""Unified system-construction layer.
+
+``SystemBuilder`` assembles a complete simulated system (simulator +
+host cache hierarchy + memory controller + CXL device stack + NICs +
+RPC engines) from a :class:`~repro.config.system.SystemConfig` and a
+declarative :class:`~repro.system.topology.Topology`.  Topologies and
+component kinds are registries, so new scenarios plug in by name::
+
+    from repro.system import SystemBuilder
+    system = SystemBuilder(fpga_system()).build("fanout-2")
+    lsu0 = system.node("lsu0")
+"""
+
+from repro.system.builder import BuildError, BuiltSystem, SystemBuilder
+from repro.system.registry import (
+    COMPONENT_KINDS,
+    component_factory,
+    component_kinds,
+    register_component,
+)
+from repro.system.topology import (
+    HDM_BASE,
+    LinkSpec,
+    NodeSpec,
+    TOPOLOGIES,
+    Topology,
+    fanout_topology,
+    microbench_topology,
+    register_topology,
+    supernode_topology,
+    topology_by_name,
+    topology_description,
+    topology_names,
+)
+
+__all__ = [
+    "BuildError",
+    "BuiltSystem",
+    "SystemBuilder",
+    "COMPONENT_KINDS",
+    "component_factory",
+    "component_kinds",
+    "register_component",
+    "HDM_BASE",
+    "LinkSpec",
+    "NodeSpec",
+    "TOPOLOGIES",
+    "Topology",
+    "fanout_topology",
+    "microbench_topology",
+    "register_topology",
+    "supernode_topology",
+    "topology_by_name",
+    "topology_description",
+    "topology_names",
+]

@@ -1,0 +1,25 @@
+"""Component catalogue: importing this module registers every built-in
+component factory with :mod:`repro.system.registry`.
+
+Factories live next to the components they build (``cxl/device.py``
+registers the three device types, ``nic/cxl_nic.py`` registers the RAO
+NIC, ...); this module only guarantees they have all been imported
+before a build dispatches by kind.  Third-party device types register
+the same way: import :func:`repro.system.registry.register_component`
+from the defining module and decorate a factory.
+"""
+
+from __future__ import annotations
+
+# noqa: F401 — imported for their registration side effects.
+from repro.core import supernode as _supernode
+from repro.cxl import device as _device
+from repro.devices import dma as _dma
+from repro.devices import lsu as _lsu
+from repro.interconnect import noc as _noc
+from repro.nic import cxl_nic as _cxl_nic
+from repro.nic import pcie_nic as _pcie_nic
+from repro.rpc import cxl_rpc as _cxl_rpc
+from repro.rpc import rpcnic as _rpcnic
+
+__all__: list = []

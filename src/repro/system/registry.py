@@ -1,0 +1,57 @@
+"""Component-kind registry for the system builder.
+
+Every buildable hardware block registers a factory under a short kind
+string (``"cxl.type1"``, ``"nic.cxl_rao"``, ...).  A topology's
+:class:`~repro.system.topology.NodeSpec` names one of these kinds; the
+:class:`~repro.system.builder.SystemBuilder` dispatches construction
+through this table, so new device types become buildable everywhere
+(harnesses, sweeps, the CLI) by registering here — no harness edits.
+
+This module is deliberately import-light (stdlib only) so component
+modules can register themselves without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system.builder import BuiltSystem, SystemBuilder
+    from repro.system.topology import NodeSpec
+
+#: ``factory(builder, system, spec) -> component`` — the returned object
+#: becomes ``system.nodes[spec.name]``.
+ComponentFactory = Callable[["SystemBuilder", "BuiltSystem", "NodeSpec"], object]
+
+COMPONENT_KINDS: Dict[str, ComponentFactory] = {}
+
+
+def register_component(kind: str) -> Callable[[ComponentFactory], ComponentFactory]:
+    """Decorator: register ``factory`` under ``kind``.
+
+    Re-registering an existing kind raises — a silent overwrite would
+    make system construction depend on import order.
+    """
+
+    def decorate(factory: ComponentFactory) -> ComponentFactory:
+        if kind in COMPONENT_KINDS:
+            raise ValueError(f"component kind {kind!r} already registered")
+        COMPONENT_KINDS[kind] = factory
+        return factory
+
+    return decorate
+
+
+def component_factory(kind: str) -> ComponentFactory:
+    """Look up a factory; unknown kinds list the valid options."""
+    try:
+        return COMPONENT_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown component kind {kind!r}; "
+            f"registered kinds: {', '.join(sorted(COMPONENT_KINDS))}"
+        ) from None
+
+
+def component_kinds() -> Tuple[str, ...]:
+    return tuple(sorted(COMPONENT_KINDS))

@@ -1,0 +1,316 @@
+"""Declarative system topologies: named node/link graphs.
+
+A :class:`Topology` is the *shape* of a simulated system — which
+components exist (each a :class:`NodeSpec` naming a registered
+component kind plus JSON-representable params) and how they connect
+(:class:`LinkSpec` edges).  The :class:`~repro.system.builder.SystemBuilder`
+turns a topology plus a :class:`~repro.config.system.SystemConfig` into
+live components.
+
+Topologies register by name in :data:`TOPOLOGIES` so harnesses, sweep
+specs and the CLI (``repro topology list|show``) can refer to a layout
+with a plain string.  Registered entries are *factories* — they accept
+keyword overrides (seeds, device counts) and return a fresh spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+HDM_BASE = 0x8_0000_0000  # device HDM windows start at 32 GB
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One component instance: a unique name, a registered kind, params."""
+
+    name: str
+    kind: str
+    params: Mapping[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """An edge of the topology graph (``kind`` names the fabric)."""
+
+    a: str
+    b: str
+    kind: str = "cxl.flexbus"
+
+    def other(self, name: str) -> str:
+        if name == self.a:
+            return self.b
+        if name == self.b:
+            return self.a
+        raise ValueError(f"{name!r} is not an endpoint of {self.a}--{self.b}")
+
+    def touches(self, name: str) -> bool:
+        return name in (self.a, self.b)
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A named node/link graph describing one system layout."""
+
+    name: str
+    description: str = ""
+    nodes: Tuple[NodeSpec, ...] = ()
+    links: Tuple[LinkSpec, ...] = ()
+
+    def validate(self) -> None:
+        names = [n.name for n in self.nodes]
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        if dupes:
+            raise ValueError(
+                f"topology {self.name!r} has duplicate node names: {dupes}"
+            )
+        known = set(names)
+        for link in self.links:
+            for end in (link.a, link.b):
+                if end not in known:
+                    raise ValueError(
+                        f"topology {self.name!r}: link {link.a}--{link.b} "
+                        f"references unknown node {end!r}"
+                    )
+
+    def node(self, name: str) -> NodeSpec:
+        for spec in self.nodes:
+            if spec.name == name:
+                return spec
+        raise KeyError(
+            f"topology {self.name!r} has no node {name!r}; "
+            f"nodes: {[n.name for n in self.nodes]}"
+        )
+
+    def by_kind(self, kind: str) -> Tuple[NodeSpec, ...]:
+        return tuple(n for n in self.nodes if n.kind == kind)
+
+    def links_of(self, name: str) -> Tuple[LinkSpec, ...]:
+        return tuple(link for link in self.links if link.touches(name))
+
+    def describe(self) -> str:
+        """Multi-line rendering used by ``repro topology show``."""
+        lines = [f"topology {self.name}"]
+        if self.description:
+            lines.append(f"  {self.description}")
+        lines.append(f"  nodes ({len(self.nodes)}):")
+        for spec in self.nodes:
+            params = ", ".join(f"{k}={v}" for k, v in sorted(spec.params.items()))
+            suffix = f"  [{params}]" if params else ""
+            lines.append(f"    {spec.name:<12} {spec.kind}{suffix}")
+        lines.append(f"  links ({len(self.links)}):")
+        for link in self.links:
+            lines.append(f"    {link.a} <-> {link.b}  ({link.kind})")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------
+TopologyFactory = Callable[..., Topology]
+
+TOPOLOGIES: Dict[str, TopologyFactory] = {}
+
+
+def register_topology(name: str) -> Callable[[TopologyFactory], TopologyFactory]:
+    """Decorator: register a topology factory under ``name``."""
+
+    def decorate(factory: TopologyFactory) -> TopologyFactory:
+        if name in TOPOLOGIES:
+            raise ValueError(f"topology {name!r} already registered")
+        TOPOLOGIES[name] = factory
+        return factory
+
+    return decorate
+
+
+def topology_by_name(name: str, **overrides) -> Topology:
+    """Instantiate a registered topology, forwarding keyword overrides."""
+    try:
+        factory = TOPOLOGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; "
+            f"registered: {', '.join(sorted(TOPOLOGIES))}"
+        ) from None
+    return factory(**overrides)
+
+
+def topology_names() -> Tuple[str, ...]:
+    return tuple(sorted(TOPOLOGIES))
+
+
+def topology_description(name: str) -> str:
+    """First docstring line of a registered factory (for listings)."""
+    factory = TOPOLOGIES[name]
+    doc = (factory.__doc__ or "").strip().splitlines()
+    return doc[0] if doc else ""
+
+
+# ---------------------------------------------------------------------
+# Built-in layouts
+# ---------------------------------------------------------------------
+@register_topology("microbench")
+def microbench_topology(seed: int = 1234) -> Topology:
+    """§VI-A calibration testbench: one type-1 device, LSU, DMA, NoC."""
+    return Topology(
+        name="microbench",
+        description="single-device calibration layout (Figs. 12-16)",
+        nodes=(
+            NodeSpec("host", "host", {"seed": seed}),
+            NodeSpec("cxl-dev", "cxl.type1"),
+            NodeSpec("lsu", "lsu"),
+            NodeSpec("dma", "dma"),
+            NodeSpec("noc", "noc"),
+        ),
+        links=(
+            LinkSpec("lsu", "cxl-dev", "d2h"),
+            LinkSpec("cxl-dev", "host", "cxl.flexbus"),
+            LinkSpec("dma", "host", "pcie"),
+        ),
+    )
+
+
+@register_topology("rao-cxl")
+def rao_cxl_topology(pe_count: Optional[int] = None) -> Topology:
+    """CXL-NIC RAO offload system (Fig. 8b): NIC with DCOH/HMC on the LLC."""
+    params: Dict[str, object] = {}
+    if pe_count is not None:
+        params["pe_count"] = pe_count
+    return Topology(
+        name="rao-cxl",
+        description="host + CXL.cache-attached RAO NIC",
+        nodes=(
+            NodeSpec("host", "host", {"region_name": "host"}),
+            NodeSpec("cxl-nic", "nic.cxl_rao", params),
+        ),
+        links=(LinkSpec("cxl-nic", "host", "cxl.flexbus"),),
+    )
+
+
+@register_topology("rao-pcie")
+def rao_pcie_topology() -> Topology:
+    """PCIe-NIC RAO baseline (Fig. 8a): DMA read-modify-write NIC."""
+    return Topology(
+        name="rao-pcie",
+        description="standalone PCIe RAO NIC (DMA RMW baseline)",
+        nodes=(NodeSpec("pcie-nic", "nic.pcie_rao"),),
+    )
+
+
+@register_topology("rpc")
+def rpc_topology() -> Topology:
+    """RPC offload comparison (Fig. 18): RpcNIC vs. CXL-NIC pipelines."""
+    return Topology(
+        name="rpc",
+        description="RpcNIC (PCIe) and CXL-NIC RPC pipelines side by side",
+        nodes=(
+            NodeSpec("rpcnic", "rpc.rpcnic"),
+            NodeSpec("cxl-rpc", "rpc.cxl"),
+        ),
+    )
+
+
+@register_topology("pcie-dma")
+def pcie_dma_topology() -> Topology:
+    """Bare PCIe DMA engine (the offload harness's baseline substrate)."""
+    return Topology(
+        name="pcie-dma",
+        description="one descriptor-driven PCIe DMA engine, no host complex",
+        nodes=(NodeSpec("dma", "dma"),),
+    )
+
+
+@register_topology("cohet-default")
+def cohet_default_topology(hdm_bytes: int = 1 << 30) -> Topology:
+    """Default Cohet platform: one host node, one type-2 XPU with HDM."""
+    return Topology(
+        name="cohet-default",
+        description="host + one type-2 accelerator (CohetSystem.build_default)",
+        nodes=(
+            NodeSpec("host", "host", {"size": None}),
+            NodeSpec("xpu0", "cxl.type2", {"hdm_bytes": hdm_bytes}),
+        ),
+        links=(LinkSpec("xpu0", "host", "cxl.flexbus"),),
+    )
+
+
+def fanout_topology(devices: int = 2, seed: int = 1234) -> Topology:
+    """Multi-device fan-out: N type-1 devices (each with an LSU) share
+    one host LLC home agent, contending on the host path."""
+    if devices < 1:
+        raise ValueError("fan-out topology needs at least one device")
+    nodes = [NodeSpec("host", "host", {"seed": seed})]
+    links = []
+    for i in range(devices):
+        dev = f"dev{i}"
+        lsu = f"lsu{i}"
+        nodes.append(NodeSpec(dev, "cxl.type1"))
+        nodes.append(NodeSpec(lsu, "lsu", {"device": dev}))
+        links.append(LinkSpec(lsu, dev, "d2h"))
+        links.append(LinkSpec(dev, "host", "cxl.flexbus"))
+    return Topology(
+        name=f"fanout-{devices}",
+        description=f"{devices}-device fan-out sharing one LLC home agent",
+        nodes=tuple(nodes),
+        links=tuple(links),
+    )
+
+
+@register_topology("fanout-2")
+def fanout2_topology(seed: int = 1234) -> Topology:
+    """Two type-1 devices fanning into one host LLC home agent."""
+    return fanout_topology(2, seed=seed)
+
+
+@register_topology("fanout-4")
+def fanout4_topology(seed: int = 1234) -> Topology:
+    """Four type-1 devices fanning into one host LLC home agent."""
+    return fanout_topology(4, seed=seed)
+
+
+@register_topology("supernode-2host")
+def supernode_2host_topology(
+    fabric_memory_bytes: int = 4 << 30,
+    memory_granule: int = 1 << 30,
+    switch_traversal_ps: int = 70_000,
+) -> Topology:
+    """Two hosts sharing fabric-attached memory behind CXL switches."""
+    return supernode_topology(
+        2,
+        fabric_memory_bytes=fabric_memory_bytes,
+        memory_granule=memory_granule,
+        switch_traversal_ps=switch_traversal_ps,
+    )
+
+
+def supernode_topology(
+    hosts: int = 2,
+    fabric_memory_bytes: int = 4 << 30,
+    memory_granule: int = 1 << 30,
+    switch_traversal_ps: int = 70_000,
+) -> Topology:
+    """Multi-host supernode layout (§VIII): every host links to the
+    switch fabric, which fronts the leasable fabric-attached memory."""
+    nodes = [NodeSpec(f"host{i}", "supernode.host") for i in range(hosts)]
+    nodes.append(
+        NodeSpec(
+            "fabric",
+            "supernode.fabric",
+            {
+                "fabric_memory_bytes": fabric_memory_bytes,
+                "memory_granule": memory_granule,
+                "switch_traversal_ps": switch_traversal_ps,
+            },
+        )
+    )
+    links = tuple(
+        LinkSpec(f"host{i}", "fabric", "cxl.switch") for i in range(hosts)
+    )
+    return Topology(
+        name=f"supernode-{hosts}host",
+        description=f"{hosts} hosts + fabric-attached memory over CXL switches",
+        nodes=tuple(nodes),
+        links=links,
+    )

@@ -1,0 +1,135 @@
+"""Tests for the multi-device fan-out experiments and their sweep/CLI
+integration, plus the satellite CLI/registry behaviours of this layer."""
+
+import pytest
+
+from cli_helpers import run_cli
+
+from repro.config import UnknownProfileError, system_by_name
+from repro.experiments import preset_sweep
+from repro.experiments.spec import SweepSpec
+from repro.harness import experiments as harness
+from repro.harness.topology_experiments import fanout_scaling
+
+
+# --------------------------- fan-out physics --------------------------
+def test_fanout2_contends_on_the_shared_home_agent():
+    single = harness.CxlTestbench(system_by_name("fpga")).bandwidth_mem_hit()
+    result = fanout_scaling(2, count=8, trials=2, bw_count=256)
+    bw = result.series["bandwidth_gbps"]
+    lat = result.series["mem_lat_median_ns"]
+    assert set(bw) == {"dev0", "dev1", "all"}
+    # Two streams share one home agent: each gets less than a lone
+    # device, the aggregate cannot exceed ~the single-device bound.
+    assert bw["dev0"] < single.bandwidth_gbps
+    assert bw["all"] <= single.bandwidth_gbps * 1.1
+    # Latency stays in the mem-hit regime (~688 ns on FPGA) with only
+    # queueing on top.
+    assert 650 < lat["all"] < 800
+
+
+def test_fanout4_saturates_but_does_not_collapse():
+    two = fanout_scaling(2, count=8, trials=2, bw_count=256)
+    four = fanout_scaling(4, count=8, trials=2, bw_count=256)
+    assert four.series["bandwidth_gbps"]["all"] >= (
+        two.series["bandwidth_gbps"]["all"] * 0.9
+    )
+    assert four.series["bandwidth_gbps"]["dev0"] < (
+        two.series["bandwidth_gbps"]["dev0"]
+    )
+
+
+def test_fanout_experiments_run_by_registry_id():
+    result = harness.run_experiment("fanout2", count=8, trials=2, bw_count=128)
+    assert result.name == "fanout2"
+    assert "dev1" in result.series["bandwidth_gbps"]
+
+
+# ----------------------- sweep integration ----------------------------
+def test_fanout_specs_validate_and_expand():
+    sweep = SweepSpec.from_dict(
+        {
+            "name": "fan",
+            "experiments": [
+                {"experiment": "fanout2", "grid": {"bw_count": [128, 256]}},
+                {"experiment": "fanout4", "params": {"count": 8}},
+            ],
+        }
+    )
+    sweep.validate()
+    assert len(sweep.expand()) == 3
+
+
+def test_topology_preset_covers_both_fanouts():
+    sweep = preset_sweep("topology")
+    names = {g.experiment for g in sweep.groups}
+    assert names == {"fanout2", "fanout4"}
+    sweep.validate()
+
+
+# ------------------------- profile handling ---------------------------
+def test_unknown_profile_is_a_value_error_listing_options():
+    with pytest.raises(ValueError) as excinfo:
+        system_by_name("fpag")
+    assert "fpag" in str(excinfo.value)
+    assert "fpga" in str(excinfo.value) and "asic" in str(excinfo.value)
+    assert isinstance(excinfo.value, UnknownProfileError)
+
+
+def test_experiments_route_profiles_through_system_by_name():
+    for name in ("fig12", "fig17", "headline", "fanout2"):
+        with pytest.raises(UnknownProfileError):
+            harness.run_experiment(name, profile="nope")
+
+
+# ------------------------ signature caching ---------------------------
+def test_experiment_parameters_are_cached():
+    harness.experiment_parameters("fig13")
+    before = harness._cached_signature.cache_info().hits
+    harness.experiment_parameters("fig13")
+    harness.spec_parameters("fig13")
+    assert harness._cached_signature.cache_info().hits >= before + 2
+
+
+def test_register_experiment_rejects_duplicates_and_clears_cache():
+    def dummy() -> harness.ExperimentResult:
+        raise NotImplementedError
+
+    with pytest.raises(ValueError):
+        harness.register_experiment("fig13", dummy)
+    harness.register_experiment("dummy-exp", dummy)
+    try:
+        assert harness.experiment_parameters("dummy-exp") == {}
+    finally:
+        del harness.EXPERIMENTS["dummy-exp"]
+        harness._cached_signature.cache_clear()
+
+
+# ------------------------------ CLI -----------------------------------
+def test_run_list_enumerates_instead_of_erroring():
+    code, out = run_cli("run", "--list")
+    assert code == 0
+    assert "fanout2" in out and "fig13" in out
+
+
+def test_run_without_ids_points_at_list():
+    code, out = run_cli("run")
+    assert code == 2
+    assert "--list" in out
+
+
+def test_topology_list_and_show():
+    code, out = run_cli("topology", "list")
+    assert code == 0
+    assert "fanout-2" in out and "supernode-2host" in out
+
+    code, out = run_cli("topology", "show", "fanout-4")
+    assert code == 0
+    assert "dev3" in out and "cxl.type1" in out
+
+    code, out = run_cli("topology", "show", "nope")
+    assert code == 2
+    assert "unknown topology" in out
+
+    code, out = run_cli("topology", "show")
+    assert code == 2
