@@ -7,10 +7,15 @@ Demonstrates the three steps of the construction layer:
 3. drive the constructed components directly.
 
 Also registers the layout under a name so ``topology_by_name`` (and
-therefore any code that takes a topology name) can build it.
+therefore any code that takes a topology name) can build it, and
+round-trips the layout through its JSON form — the same format the
+shipped ``examples/topologies/*.json`` files use.
 
 Run with: PYTHONPATH=src python examples/custom_topology.py
 """
+
+import tempfile
+from pathlib import Path
 
 from repro.config import fpga_system
 from repro.system import (
@@ -18,6 +23,8 @@ from repro.system import (
     NodeSpec,
     SystemBuilder,
     Topology,
+    dump_topology,
+    load_topology,
     register_topology,
     topology_by_name,
 )
@@ -64,6 +71,16 @@ def main() -> None:
     print(f"PCIe DMA 64B read latency      : {transfer.median_ns:8.1f} ns")
     ratio = transfer.median_ns / loads.median_ns
     print(f"coherent loads are {ratio:.1f}x faster at cacheline granularity")
+
+    # Topologies are data: dump to JSON, reload, and build the same
+    # system (drop the file in examples/topologies/ to auto-register).
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "lab-bench.json"
+        dump_topology(topology, path)
+        reloaded = load_topology(path)
+    assert reloaded == topology
+    rebuilt = SystemBuilder(fpga_system()).build(reloaded)
+    print(f"JSON round trip rebuilt {len(rebuilt.nodes)} identical nodes")
 
 
 if __name__ == "__main__":

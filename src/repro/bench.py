@@ -166,6 +166,39 @@ def bench_system_build(builds: int = 25) -> Dict[str, Any]:
     return result
 
 
+def bench_topology_load(loads: int = 50) -> Dict[str, Any]:
+    """Dump ``fanout-2`` to JSON once, then load+validate+build it in a loop.
+
+    Tracks the data-driven construction path — JSON parse, schema
+    validation, registry dispatch — that every file-based topology
+    (``examples/topologies/``, ``repro topology load``) pays on top of
+    the in-memory build measured by ``system_build``.
+    """
+    from repro.config import fpga_system
+    from repro.system import (
+        SystemBuilder,
+        dump_topology,
+        load_topology,
+        topology_by_name,
+    )
+
+    config = fpga_system()
+
+    def run() -> Dict[str, Any]:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            path = Path(tmp) / "fanout-2.json"
+            dump_topology(topology_by_name("fanout-2"), path)
+            builder = SystemBuilder(config)
+            nodes = 0
+            for _ in range(loads):
+                nodes += len(builder.build(load_topology(path)).nodes)
+        return {"loads": loads, "nodes": nodes}
+
+    result = _timed(run)
+    result["loads_per_sec"] = round(result["loads"] / max(result["wall_s"], 1e-9))
+    return result
+
+
 def bench_sweep(jobs: int = 1) -> Dict[str, Any]:
     """The ``quick`` sweep preset end-to-end (the acceptance workload).
 
@@ -219,6 +252,10 @@ def run_bench(quick: bool = False, progress: Progress = None) -> Dict[str, Any]:
     workloads["system_build"] = bench_system_build(builds=5 if quick else 25)
     note(f"system_build: {workloads['system_build']['builds_per_sec']:,} builds/s")
 
+    note("topology_load ...")
+    workloads["topology_load"] = bench_topology_load(loads=10 if quick else 50)
+    note(f"topology_load: {workloads['topology_load']['loads_per_sec']:,} loads/s")
+
     note("sweep_quick ...")
     workloads["sweep_quick"] = bench_sweep()
     note(f"sweep_quick: {workloads['sweep_quick']['wall_s']:.3f}s")
@@ -257,6 +294,8 @@ def render(payload: Dict[str, Any]) -> str:
             throughput = f"{w['ops_per_sec']:,} ops/s"
         elif "builds_per_sec" in w:
             throughput = f"{w['builds_per_sec']:,} builds/s"
+        elif "loads_per_sec" in w:
+            throughput = f"{w['loads_per_sec']:,} loads/s"
         else:
             throughput = "-"
         lines.append(f"{name:<16} {w['wall_s']:>10.3f} {throughput:>20}")

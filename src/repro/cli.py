@@ -9,7 +9,11 @@ Usage::
     python -m repro info
     python -m repro topology list
     python -m repro topology show fanout-4
+    python -m repro topology dump fanout-2 --out fanout2.json
+    python -m repro topology load fanout2.json
+    python -m repro topology validate examples/topologies/*.json
     python -m repro sweep --preset quick --jobs 4
+    python -m repro sweep topology-scale --jobs 2
     python -m repro sweep my_sweep.json --out runs/mine
     python -m repro report runs/quick
     python -m repro compare runs/a runs/b
@@ -76,8 +80,18 @@ def _cmd_run(args: argparse.Namespace, out: IO[str]) -> int:
 
 
 def _cmd_topology(args: argparse.Namespace, out: IO[str]) -> int:
-    from repro.system import topology_by_name, topology_description, topology_names
+    from repro.system import (
+        TopologySchemaError,
+        dump_topology,
+        load_topology,
+        topology_by_name,
+        topology_description,
+        topology_names,
+    )
 
+    if args.out and args.action != "dump":
+        out.write("--out is only valid with 'repro topology dump'\n")
+        return 2
     if args.action == "list":
         names = topology_names()
         width = max(len(name) for name in names)
@@ -85,15 +99,53 @@ def _cmd_topology(args: argparse.Namespace, out: IO[str]) -> int:
         for name in names:
             out.write(f"  {name:<{width}}  {topology_description(name)}\n")
         return 0
-    # show
-    if not args.name:
-        out.write("topology show needs a name (see 'repro topology list')\n")
+    if args.action == "validate":
+        if not args.names:
+            out.write("topology validate needs one or more JSON spec files\n")
+            return 2
+        failures = 0
+        for raw in args.names:
+            try:
+                topology = load_topology(raw)
+            except TopologySchemaError as exc:
+                out.write(f"FAIL {raw}: {exc}\n")
+                failures += 1
+            else:
+                out.write(
+                    f"ok   {raw}: {topology.name} "
+                    f"({len(topology.nodes)} nodes, {len(topology.links)} links)\n"
+                )
+        return 2 if failures else 0
+    if args.action == "load":
+        if len(args.names) != 1:
+            out.write("topology load needs exactly one JSON spec file\n")
+            return 2
+        try:
+            topology = load_topology(args.names[0])
+        except TopologySchemaError as exc:
+            out.write(f"{exc}\n")
+            return 2
+        out.write(topology.describe())
+        out.write("\n")
+        return 0
+    # show / dump take one registered name.
+    if len(args.names) != 1:
+        out.write(
+            f"topology {args.action} needs a name (see 'repro topology list')\n"
+        )
         return 2
     try:
-        topology = topology_by_name(args.name)
+        topology = topology_by_name(args.names[0])
     except ValueError as exc:
         out.write(f"{exc}\n")
         return 2
+    if args.action == "dump":
+        text = dump_topology(topology, args.out)
+        if args.out:
+            out.write(f"wrote {args.out}\n")
+        else:
+            out.write(text)
+        return 0
     out.write(topology.describe())
     out.write("\n")
     return 0
@@ -135,10 +187,15 @@ def _cmd_sweep(args: argparse.Namespace, out: IO[str]) -> int:
             sweep = preset_sweep(args.preset)
         else:
             spec_path = Path(args.spec)
-            if not spec_path.is_file():
-                out.write(f"no such sweep spec file: {spec_path}\n")
+            if spec_path.is_file():
+                sweep = SweepSpec.from_file(spec_path)
+            elif args.spec in PRESETS:
+                # `repro sweep topology-scale` works without --preset.
+                sweep = preset_sweep(args.spec)
+            else:
+                out.write(f"no such sweep spec file or preset: {args.spec}\n")
+                out.write(f"presets: {', '.join(sorted(PRESETS))}\n")
                 return 2
-            sweep = SweepSpec.from_file(spec_path)
     except (SpecError, KeyError) as exc:
         # KeyError only reaches here from preset_sweep's unknown-preset
         # path; internal errors inside run_sweep below propagate.
@@ -240,18 +297,26 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("info", help="show calibrated profile summaries")
 
     topology = sub.add_parser(
-        "topology", help="list or inspect registered system topologies"
+        "topology",
+        help="list, inspect, or (de)serialize registered system topologies",
     )
-    topology.add_argument("action", choices=["list", "show"])
     topology.add_argument(
-        "name", nargs="?", help="topology name (for 'show')"
+        "action", choices=["list", "show", "load", "dump", "validate"]
+    )
+    topology.add_argument(
+        "names", nargs="*",
+        help="topology name (show/dump) or JSON spec file(s) (load/validate)",
+    )
+    topology.add_argument(
+        "--out", help="write 'dump' JSON to this file instead of stdout"
     )
 
     sweep = sub.add_parser(
         "sweep", help="run a parameter sweep in parallel, persisting results"
     )
     sweep.add_argument(
-        "spec", nargs="?", help="path to a sweep spec JSON file"
+        "spec", nargs="?",
+        help="path to a sweep spec JSON file, or a preset name",
     )
     sweep.add_argument("--preset", help="built-in sweep preset (e.g. 'quick')")
     sweep.add_argument(

@@ -35,6 +35,25 @@ class SupernodeHost:
     remote_latency_ps: int = 0
 
 
+def make_supernode_host(config: SystemConfig, name: str) -> SupernodeHost:
+    """Build one child host: a NUMA registry seeded with its local DRAM.
+
+    This is the per-host construction unit — the ``supernode.host``
+    component factory calls it for each host node of a topology, and
+    :class:`Supernode` calls it when composed directly, so both paths
+    produce identical hosts.
+    """
+    registry = NumaRegistry()
+    registry.add(
+        NumaNode(
+            0,
+            NodeKind.CPU,
+            AddressRange(0, config.host.dram_size, f"{name}-dram"),
+        )
+    )
+    return SupernodeHost(name, registry)
+
+
 class Supernode:
     """Hosts + fabric-attached memory + hierarchical coherence."""
 
@@ -47,8 +66,18 @@ class Supernode:
         fabric_memory_bytes: int = 4 << 30,
         memory_granule: int = 1 << 30,
         switch_traversal_ps: int = 70_000,
+        prebuilt_hosts: Optional[List[SupernodeHost]] = None,
     ) -> None:
-        if hosts <= 0:
+        if prebuilt_hosts is not None:
+            host_list = list(prebuilt_hosts)
+            names = [host.name for host in host_list]
+            if len(set(names)) != len(names):
+                raise ValueError(f"duplicate supernode host names: {names}")
+        else:
+            if hosts <= 0:
+                raise ValueError("a supernode needs at least one host")
+            host_list = [make_supernode_host(config, f"host{i}") for i in range(hosts)]
+        if not host_list:
             raise ValueError("a supernode needs at least one host")
         self.config = config
         self.fabric = SwitchFabric()
@@ -56,20 +85,11 @@ class Supernode:
         self.manager = FabricManager("supernode-fm")
 
         self.hosts: Dict[str, SupernodeHost] = {}
-        for i in range(hosts):
-            name = f"host{i}"
+        for i, host in enumerate(host_list):
             leaf = self.fabric.add_switch(CxlSwitch(f"leaf{i}", switch_traversal_ps))
             root.attach_switch(leaf)
-            leaf.attach_endpoint(name)
-            registry = NumaRegistry()
-            registry.add(
-                NumaNode(
-                    0,
-                    NodeKind.CPU,
-                    AddressRange(0, config.host.dram_size, f"{name}-dram"),
-                )
-            )
-            self.hosts[name] = SupernodeHost(name, registry)
+            leaf.attach_endpoint(host.name)
+            self.hosts[host.name] = host
 
         # Carve the fabric-attached memory pool into leasable granules.
         cursor = self.FABRIC_BASE
@@ -81,8 +101,34 @@ class Supernode:
             cursor += memory_granule
             index += 1
 
-        self.domain = HierarchicalDomain(children=hosts)
-        self._child_of = {f"host{i}": f"child{i}" for i in range(hosts)}
+        self.domain = HierarchicalDomain(children=len(host_list))
+        self._child_of = {
+            host.name: f"child{i}" for i, host in enumerate(host_list)
+        }
+
+    @classmethod
+    def from_hosts(
+        cls,
+        config: SystemConfig,
+        hosts: List[SupernodeHost],
+        fabric_memory_bytes: int = 4 << 30,
+        memory_granule: int = 1 << 30,
+        switch_traversal_ps: int = 70_000,
+    ) -> "Supernode":
+        """Wire a supernode around hosts that were built individually.
+
+        The system-builder path: each ``supernode.host`` topology node
+        becomes a :class:`SupernodeHost` via :func:`make_supernode_host`,
+        and the ``supernode.fabric`` node assembles them — instead of
+        this class fabricating its own hosts wholesale.
+        """
+        return cls(
+            config,
+            fabric_memory_bytes=fabric_memory_bytes,
+            memory_granule=memory_granule,
+            switch_traversal_ps=switch_traversal_ps,
+            prebuilt_hosts=hosts,
+        )
 
     # ------------------------------------------------------------------
     # Memory leasing
@@ -154,12 +200,12 @@ from repro.system.registry import register_component  # noqa: E402
 
 
 @register_component("supernode.host")
-def _build_supernode_host(builder, system, spec) -> Optional[SupernodeHost]:
-    """One child host of the supernode.
+def _build_supernode_host(builder, system, spec) -> SupernodeHost:
+    """Builder factory: one child host, constructed per-host.
 
     If the ``supernode.fabric`` node was declared (and therefore built)
-    earlier, resolve against it directly; otherwise return a
-    placeholder that the fabric factory back-fills.
+    earlier, resolve against its already-wired hosts; otherwise build a
+    fresh :class:`SupernodeHost` that the fabric factory will collect.
     """
     for fabric_spec in system.topology.by_kind("supernode.fabric"):
         fabric = system.nodes.get(fabric_spec.name)
@@ -171,17 +217,20 @@ def _build_supernode_host(builder, system, spec) -> Optional[SupernodeHost]:
                     f"supernode host nodes must be named host0..host"
                     f"{len(fabric.hosts) - 1}; got {spec.name!r}"
                 ) from None
-    return None
+    return make_supernode_host(system.config, spec.name)
 
 
 @register_component("supernode.fabric")
 def _build_supernode_fabric(builder, system, spec) -> Supernode:
-    """Builder factory: the whole supernode (hosts + fabric memory).
+    """Builder factory: the switch fabric wired around per-host systems.
 
-    Collects every ``supernode.host`` node declared before this one and
-    builds one :class:`Supernode`; each host node resolves to its
-    :class:`SupernodeHost`.  Host nodes must be named ``host0..hostN-1``
-    (the :func:`repro.system.topology.supernode_topology` convention).
+    Collects every ``supernode.host`` node — the ones declared before
+    this spec were already built individually by the host factory; any
+    declared after are built here and back-filled — and wires one
+    :class:`Supernode` around them via :meth:`Supernode.from_hosts`.
+    Host nodes must be named ``host0..hostN-1`` (the
+    :func:`repro.system.topology.supernode_topology` convention, which
+    the fabric's leaf-switch indexing relies on).
     """
     host_specs = system.topology.by_kind("supernode.host")
     if not host_specs:
@@ -189,18 +238,26 @@ def _build_supernode_fabric(builder, system, spec) -> Supernode:
             f"topology {system.topology.name!r}: supernode.fabric needs "
             "at least one supernode.host node"
         )
-    supernode = Supernode(
-        system.config,
-        hosts=len(host_specs),
-        fabric_memory_bytes=int(spec.params.get("fabric_memory_bytes", 4 << 30)),
-        memory_granule=int(spec.params.get("memory_granule", 1 << 30)),
-        switch_traversal_ps=int(spec.params.get("switch_traversal_ps", 70_000)),
-    )
+    expected = {f"host{i}" for i in range(len(host_specs))}
     for host_spec in host_specs:
-        if host_spec.name not in supernode.hosts:
+        if host_spec.name not in expected:
             raise ValueError(
                 f"supernode host nodes must be named host0..host{len(host_specs) - 1}; "
                 f"got {host_spec.name!r}"
             )
-        system.nodes[host_spec.name] = supernode.hosts[host_spec.name]
-    return supernode
+    hosts: List[SupernodeHost] = []
+    # Leaf switches attach in name order (host0 -> leaf0, ...) no matter
+    # how the topology interleaves its declarations.
+    for name in sorted(expected, key=lambda n: int(n[len("host"):])):
+        host = system.nodes.get(name)
+        if not isinstance(host, SupernodeHost):
+            host = make_supernode_host(system.config, name)
+            system.nodes[name] = host  # fabric declared first: back-fill
+        hosts.append(host)
+    return Supernode.from_hosts(
+        system.config,
+        hosts,
+        fabric_memory_bytes=int(spec.params.get("fabric_memory_bytes", 4 << 30)),
+        memory_granule=int(spec.params.get("memory_granule", 1 << 30)),
+        switch_traversal_ps=int(spec.params.get("switch_traversal_ps", 70_000)),
+    )

@@ -39,6 +39,22 @@ PRESETS: Dict[str, dict] = {
             {"experiment": "fanout4", "params": {"count": 8, "trials": 2, "bw_count": 256}},
         ],
     },
+    "topology-scale": {
+        # The topology itself as a sweep axis: device counts 1..8 of the
+        # fan-out family, each point hashed/cached independently.
+        "name": "topology-scale",
+        "repeats": 1,
+        "base_seed": 1234,
+        "experiments": [
+            {
+                "experiment": "topo-scale",
+                "params": {"count": 8, "trials": 2, "bw_count": 128},
+                "grid": {
+                    "topology": [f"fanout({n})" for n in range(1, 9)],
+                },
+            },
+        ],
+    },
     "paper": {
         "name": "paper",
         "repeats": 1,

@@ -174,6 +174,11 @@ class SweepSpec:
             ],
         }
 
+    #: Param key whose values are topology references, validated against
+    #: the topology registry/families so a typo'd layout name fails the
+    #: sweep up-front like a typo'd experiment parameter does.
+    TOPOLOGY_PARAM = "topology"
+
     def validate(self) -> None:
         """Check every group against the experiment registry up-front."""
         from repro.harness.experiments import spec_parameters
@@ -196,6 +201,29 @@ class SweepSpec:
                     f"parameter(s) {', '.join(unknown)}; "
                     f"accepted: {sorted(accepted)}"
                 )
+            self._validate_topology_refs(group)
+
+    def _validate_topology_refs(self, group: SweepGroup) -> None:
+        """Fail up-front on topology axes that name no registered layout.
+
+        Family *arguments* stay unchecked (a bad ``fanout(0)`` fails at
+        run time inside its own spec, covered by failure isolation).
+        """
+        refs = []
+        if self.TOPOLOGY_PARAM in group.params:
+            refs.append(group.params[self.TOPOLOGY_PARAM])
+        refs.extend(group.grid.get(self.TOPOLOGY_PARAM, ()))
+        if not refs:
+            return
+        from repro.system.topology import validate_topology_ref
+
+        for ref in refs:
+            try:
+                validate_topology_ref(ref)
+            except ValueError as exc:
+                raise SpecError(
+                    f"experiment {group.experiment!r}: {exc}"
+                ) from None
 
     def expand(self) -> List[ExperimentSpec]:
         """Grid product x repeats -> flat, deterministically-seeded specs.

@@ -7,6 +7,14 @@ and the memory controller — the first scaling axis past the paper's
 single-device calibration.  ``fanout2``/``fanout4`` are registered in
 :data:`repro.harness.experiments.EXPERIMENTS`, so ``repro run`` and
 ``repro sweep`` cover them like any paper figure.
+
+``topo-scale`` generalizes the same measurement to *any* LSU-bearing
+topology named by a JSON-representable reference — a registered name
+(``"fanout-8"``, including layouts loaded from ``examples/topologies/``
+JSON files) or a parametric family (``"fanout(6)"``).  That makes the
+topology itself a sweep axis: the ``topology-scale`` preset grids
+``fanout(1)`` through ``fanout(8)`` and every point hashes/caches
+independently in the result store.
 """
 
 from __future__ import annotations
@@ -18,7 +26,13 @@ from repro.config import system_by_name
 from repro.harness.experiments import ExperimentResult, register_experiment
 from repro.harness.tables import render_series
 from repro.mem.address import CACHELINE
-from repro.system import BuiltSystem, SystemBuilder, fanout_topology
+from repro.system import (
+    BuiltSystem,
+    SystemBuilder,
+    Topology,
+    fanout_topology,
+    resolve_topology,
+)
 
 
 def _latency_chain(lsu, addrs: List[int], out: List[int]) -> None:
@@ -93,24 +107,36 @@ def _device_window(device_index: int, base: int = 0x200000) -> int:
     return base + device_index * 0x100_0000
 
 
-def _build(profile: str, devices: int) -> BuiltSystem:
-    return SystemBuilder(system_by_name(profile)).build(fanout_topology(devices))
-
-
-def fanout_scaling(
-    devices: int = 2,
-    profile: str = "fpga",
-    count: int = 16,
-    trials: int = 4,
-    bw_count: int = 512,
+def _scaling_measurement(
+    topology: Topology,
+    profile: str,
+    count: int,
+    trials: int,
+    bw_count: int,
+    name: str,
+    description: str,
+    title: str,
 ) -> ExperimentResult:
-    """N-device fan-out: concurrent mem-hit latency and aggregate bandwidth."""
+    """Concurrent latency/bandwidth across every LSU of ``topology``.
+
+    Two fresh builds of the same topology (one per phase), so the
+    phases never share simulator state; windows are carved per LSU in
+    declaration order, so no two streams share a cache line.
+    """
+    lsu_names = [spec.name for spec in topology.by_kind("lsu")]
+    if not lsu_names:
+        raise ValueError(
+            f"topology {topology.name!r} declares no 'lsu' nodes; the "
+            "scaling measurement needs at least one load/store unit to drive"
+        )
+    config = system_by_name(profile)
+
     # --- latency phase: every device chases its own serialized chain.
-    system = _build(profile, devices)
+    system: BuiltSystem = SystemBuilder(config).build(topology)
     per_device_lat: Dict[int, List[int]] = {}
-    for i in range(devices):
+    for i, lsu_name in enumerate(lsu_names):
         per_device_lat[i] = []
-        lsu = system.node(f"lsu{i}")
+        lsu = system.node(lsu_name)
         _latency_chain(
             lsu,
             lsu.sequential_lines(_device_window(i), count * trials),
@@ -119,13 +145,13 @@ def fanout_scaling(
     system.sim.run()
 
     # --- bandwidth phase: fresh system, pipelined streams in parallel.
-    system = _build(profile, devices)
+    system = SystemBuilder(config).build(topology)
     streams = {
         i: _bandwidth_stream(
-            system.node(f"lsu{i}"),
-            system.node(f"lsu{i}").sequential_lines(_device_window(i), bw_count),
+            system.node(lsu_name),
+            system.node(lsu_name).sequential_lines(_device_window(i), bw_count),
         )
-        for i in range(devices)
+        for i, lsu_name in enumerate(lsu_names)
     }
     system.sim.run()
 
@@ -148,17 +174,54 @@ def fanout_scaling(
     bw_gbps["all"] = total_bytes / span * 1_000 if span else 0.0
 
     series = {"mem_lat_median_ns": lat_ns, "bandwidth_gbps": bw_gbps}
-    text = render_series(
-        "device",
-        series,
+    text = render_series("device", series, title=title, fmt="{:.2f}")
+    return ExperimentResult(name, description, series, text)
+
+
+def fanout_scaling(
+    devices: int = 2,
+    profile: str = "fpga",
+    count: int = 16,
+    trials: int = 4,
+    bw_count: int = 512,
+) -> ExperimentResult:
+    """N-device fan-out: concurrent mem-hit latency and aggregate bandwidth."""
+    return _scaling_measurement(
+        fanout_topology(devices),
+        profile,
+        count,
+        trials,
+        bw_count,
+        name=f"fanout{devices}",
+        description=fanout_scaling.__doc__,
         title=(
             f"Fan-out x{devices} ({profile}): concurrent mem-hit latency "
             "and bandwidth"
         ),
-        fmt="{:.2f}",
     )
-    return ExperimentResult(
-        f"fanout{devices}", fanout_scaling.__doc__, series, text
+
+
+def topology_scaling(
+    topology: str = "fanout(2)",
+    profile: str = "fpga",
+    count: int = 16,
+    trials: int = 4,
+    bw_count: int = 512,
+) -> ExperimentResult:
+    """Concurrent mem-hit latency/bandwidth on any LSU-bearing topology."""
+    resolved = resolve_topology(topology)
+    return _scaling_measurement(
+        resolved,
+        profile,
+        count,
+        trials,
+        bw_count,
+        name="topo-scale",
+        description=topology_scaling.__doc__,
+        title=(
+            f"Topology {resolved.name} ({profile}): concurrent mem-hit "
+            "latency and bandwidth"
+        ),
     )
 
 
@@ -180,3 +243,4 @@ def fanout4_scaling(
 
 register_experiment("fanout2", fanout2_scaling)
 register_experiment("fanout4", fanout4_scaling)
+register_experiment("topo-scale", topology_scaling)

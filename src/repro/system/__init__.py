@@ -22,15 +22,26 @@ from repro.system.topology import (
     HDM_BASE,
     LinkSpec,
     NodeSpec,
+    SHIPPED_TOPOLOGY_DIR,
     TOPOLOGIES,
+    TOPOLOGY_FAMILIES,
     Topology,
+    TopologySchemaError,
+    UnknownTopologyError,
+    dump_topology,
     fanout_topology,
+    load_topology,
     microbench_topology,
+    parse_topology_ref,
     register_topology,
+    register_topology_family,
+    register_topology_file,
+    resolve_topology,
     supernode_topology,
     topology_by_name,
     topology_description,
     topology_names,
+    validate_topology_ref,
 )
 
 __all__ = [
@@ -44,13 +55,24 @@ __all__ = [
     "HDM_BASE",
     "LinkSpec",
     "NodeSpec",
+    "SHIPPED_TOPOLOGY_DIR",
     "TOPOLOGIES",
+    "TOPOLOGY_FAMILIES",
     "Topology",
+    "TopologySchemaError",
+    "UnknownTopologyError",
+    "dump_topology",
     "fanout_topology",
+    "load_topology",
     "microbench_topology",
+    "parse_topology_ref",
     "register_topology",
+    "register_topology_family",
+    "register_topology_file",
+    "resolve_topology",
     "supernode_topology",
     "topology_by_name",
     "topology_description",
     "topology_names",
+    "validate_topology_ref",
 ]

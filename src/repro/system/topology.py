@@ -11,14 +11,46 @@ Topologies register by name in :data:`TOPOLOGIES` so harnesses, sweep
 specs and the CLI (``repro topology list|show``) can refer to a layout
 with a plain string.  Registered entries are *factories* — they accept
 keyword overrides (seeds, device counts) and return a fresh spec.
+
+Topologies are also a *data format*: :meth:`Topology.to_dict` /
+:meth:`Topology.from_dict` round-trip a spec through plain JSON,
+:func:`load_topology` / :func:`dump_topology` do the same for files
+(``repro topology load|dump|validate``), and every ``*.json`` layout
+under ``examples/topologies/`` auto-registers at import so shipped
+files are first-class citizens of the registry.  Sweep grids refer to
+topologies through :func:`resolve_topology`, which accepts either a
+registered name (``"fanout-2"``) or a parametric family reference
+(``"fanout(6)"`` — see :data:`TOPOLOGY_FAMILIES`).
 """
 
 from __future__ import annotations
 
+import json
+import re
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 HDM_BASE = 0x8_0000_0000  # device HDM windows start at 32 GB
+
+
+class TopologySchemaError(ValueError):
+    """A topology spec (dict or JSON file) is malformed.
+
+    Every malformed input — wrong container types, missing/unknown
+    keys, duplicate node names, dangling link endpoints, unknown
+    component kinds — raises this one type with a message naming the
+    offending element, so callers never see a bare ``KeyError``.
+    """
+
+
+class UnknownTopologyError(ValueError):
+    """A name/reference does not identify a registered topology.
+
+    The listing-style counterpart of
+    :class:`repro.config.UnknownProfileError`: the message always
+    enumerates the valid options.
+    """
 
 
 @dataclass(frozen=True)
@@ -89,6 +121,145 @@ class Topology:
     def links_of(self, name: str) -> Tuple[LinkSpec, ...]:
         return tuple(link for link in self.links if link.touches(name))
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form; inverse of :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "nodes": [
+                {
+                    "name": spec.name,
+                    "kind": spec.kind,
+                    "params": {key: spec.params[key] for key in spec.params},
+                }
+                for spec in self.nodes
+            ],
+            "links": [
+                {"a": link.a, "b": link.b, "kind": link.kind}
+                for link in self.links
+            ],
+        }
+
+    _TOP_KEYS = frozenset({"name", "description", "nodes", "links"})
+    _NODE_KEYS = frozenset({"name", "kind", "params"})
+    _LINK_KEYS = frozenset({"a", "b", "kind"})
+
+    @classmethod
+    def from_dict(
+        cls,
+        data: Mapping[str, object],
+        default_name: Optional[str] = None,
+        check_kinds: bool = True,
+    ) -> "Topology":
+        """Parse the JSON spec format with full schema validation.
+
+        Every malformed input raises :class:`TopologySchemaError` with a
+        message naming the offending element; ``check_kinds`` (default
+        on) additionally verifies every node's component kind against
+        the component registry, so a spec that cannot possibly build
+        fails at load time, not at build time.
+        """
+        if not isinstance(data, Mapping):
+            raise TopologySchemaError(
+                f"topology spec must be a JSON object, got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - cls._TOP_KEYS)
+        if unknown:
+            raise TopologySchemaError(
+                f"topology spec has unknown key(s) {', '.join(map(repr, unknown))}; "
+                f"valid keys: {', '.join(sorted(cls._TOP_KEYS))}"
+            )
+        name = data.get("name", default_name)
+        if not isinstance(name, str) or not name:
+            raise TopologySchemaError(
+                "topology spec needs a non-empty string 'name' "
+                f"(got {name!r})"
+            )
+
+        def fail(msg: str) -> None:
+            raise TopologySchemaError(f"topology {name!r}: {msg}")
+
+        description = data.get("description", "")
+        if not isinstance(description, str):
+            fail(f"'description' must be a string, got {description!r}")
+
+        raw_nodes = data.get("nodes", [])
+        if isinstance(raw_nodes, (str, bytes)) or not isinstance(raw_nodes, (list, tuple)):
+            fail(f"'nodes' must be a list of node objects, got {raw_nodes!r}")
+        nodes: List[NodeSpec] = []
+        for i, entry in enumerate(raw_nodes):
+            if not isinstance(entry, Mapping):
+                fail(f"nodes[{i}] must be an object, got {entry!r}")
+            bad = sorted(set(entry) - cls._NODE_KEYS)
+            if bad:
+                fail(
+                    f"nodes[{i}] has unknown key(s) {', '.join(map(repr, bad))}; "
+                    f"valid keys: {', '.join(sorted(cls._NODE_KEYS))}"
+                )
+            node_name = entry.get("name")
+            if not isinstance(node_name, str) or not node_name:
+                fail(f"nodes[{i}] needs a non-empty string 'name' (got {node_name!r})")
+            kind = entry.get("kind")
+            if not isinstance(kind, str) or not kind:
+                fail(f"node {node_name!r} needs a non-empty string 'kind' (got {kind!r})")
+            params = entry.get("params", {})
+            if not isinstance(params, Mapping):
+                fail(f"node {node_name!r}: 'params' must be an object, got {params!r}")
+            if any(not isinstance(key, str) for key in params):
+                fail(f"node {node_name!r}: every params key must be a string")
+            nodes.append(NodeSpec(node_name, kind, dict(params)))
+
+        raw_links = data.get("links", [])
+        if isinstance(raw_links, (str, bytes)) or not isinstance(raw_links, (list, tuple)):
+            fail(f"'links' must be a list of link objects, got {raw_links!r}")
+        links: List[LinkSpec] = []
+        for i, entry in enumerate(raw_links):
+            if not isinstance(entry, Mapping):
+                fail(f"links[{i}] must be an object, got {entry!r}")
+            bad = sorted(set(entry) - cls._LINK_KEYS)
+            if bad:
+                fail(
+                    f"links[{i}] has unknown key(s) {', '.join(map(repr, bad))}; "
+                    f"valid keys: {', '.join(sorted(cls._LINK_KEYS))}"
+                )
+            ends = []
+            for end in ("a", "b"):
+                value = entry.get(end)
+                if not isinstance(value, str) or not value:
+                    fail(f"links[{i}] needs a non-empty string {end!r} endpoint (got {value!r})")
+                ends.append(value)
+            kind = entry.get("kind", "cxl.flexbus")
+            if not isinstance(kind, str) or not kind:
+                fail(f"links[{i}]: 'kind' must be a non-empty string, got {kind!r}")
+            links.append(LinkSpec(ends[0], ends[1], kind))
+
+        topology = cls(
+            name=name,
+            description=description,
+            nodes=tuple(nodes),
+            links=tuple(links),
+        )
+        # Duplicate node names and dangling link endpoints are graph
+        # errors; re-raise them under the one schema-error type.
+        try:
+            topology.validate()
+        except ValueError as exc:
+            raise TopologySchemaError(str(exc)) from None
+        if check_kinds:
+            # Importing the catalogue registers every built-in factory;
+            # deferred so the topology module itself stays import-light.
+            from repro.system import components  # noqa: F401
+            from repro.system.registry import COMPONENT_KINDS
+
+            for spec in topology.nodes:
+                if spec.kind not in COMPONENT_KINDS:
+                    fail(
+                        f"node {spec.name!r} has unknown component kind "
+                        f"{spec.kind!r}; registered kinds: "
+                        f"{', '.join(sorted(COMPONENT_KINDS))}"
+                    )
+        return topology
+
     def describe(self) -> str:
         """Multi-line rendering used by ``repro topology show``."""
         lines = [f"topology {self.name}"]
@@ -130,7 +301,7 @@ def topology_by_name(name: str, **overrides) -> Topology:
     try:
         factory = TOPOLOGIES[name]
     except KeyError:
-        raise ValueError(
+        raise UnknownTopologyError(
             f"unknown topology {name!r}; "
             f"registered: {', '.join(sorted(TOPOLOGIES))}"
         ) from None
@@ -146,6 +317,168 @@ def topology_description(name: str) -> str:
     factory = TOPOLOGIES[name]
     doc = (factory.__doc__ or "").strip().splitlines()
     return doc[0] if doc else ""
+
+
+# ---------------------------------------------------------------------
+# JSON files
+# ---------------------------------------------------------------------
+def load_topology(path: Union[str, Path], check_kinds: bool = True) -> Topology:
+    """Load and validate a topology spec from a JSON file.
+
+    Unreadable files, invalid JSON, and schema violations all raise
+    :class:`TopologySchemaError` naming the file and the problem.  The
+    file's stem is the fallback name when the spec omits ``"name"``.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise TopologySchemaError(f"cannot read topology spec {path}: {exc}") from None
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TopologySchemaError(f"invalid JSON in {path}: {exc}") from None
+    return Topology.from_dict(data, default_name=path.stem, check_kinds=check_kinds)
+
+
+def dump_topology(
+    topology: Topology, path: Optional[Union[str, Path]] = None
+) -> str:
+    """Render ``topology`` as JSON text, writing it to ``path`` if given.
+
+    The output round-trips through :func:`load_topology` /
+    :meth:`Topology.from_dict` bit-identically.
+    """
+    text = json.dumps(topology.to_dict(), indent=2, sort_keys=True) + "\n"
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def register_topology_file(path: Union[str, Path]) -> Optional[str]:
+    """Register a JSON layout file as a named (lazy) topology factory.
+
+    Only the name/description are read eagerly; the full spec is parsed
+    and schema-checked when the topology is instantiated, so a broken
+    file never breaks *import* — it surfaces through ``repro topology
+    validate`` (the CI smoke job) or at first use.  Returns the
+    registered name, or ``None`` when the file is skipped (unparseable,
+    or its name is already taken).
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, Mapping):
+        return None
+    name = data.get("name") or path.stem
+    if not isinstance(name, str) or name in TOPOLOGIES:
+        return None
+
+    def factory(**overrides) -> Topology:
+        if overrides:
+            raise TypeError(
+                f"topology {name!r} is loaded from {path.name} and "
+                f"accepts no overrides (got {', '.join(sorted(overrides))})"
+            )
+        return load_topology(path)
+
+    description = data.get("description")
+    factory.__doc__ = (
+        description if isinstance(description, str) and description
+        else f"JSON layout from {path.name}"
+    )
+    TOPOLOGIES[name] = factory
+    return name
+
+
+#: Shipped JSON layouts (repo checkouts only; absent in installed trees).
+SHIPPED_TOPOLOGY_DIR = Path(__file__).resolve().parents[3] / "examples" / "topologies"
+
+
+def _register_shipped_layouts(directory: Path = SHIPPED_TOPOLOGY_DIR) -> None:
+    if not directory.is_dir():
+        return
+    for path in sorted(directory.glob("*.json")):
+        register_topology_file(path)
+
+
+# ---------------------------------------------------------------------
+# Parametric families and sweep-grid references
+# ---------------------------------------------------------------------
+#: Families take one integer scale argument (device/host count), so a
+#: sweep grid can hold ``["fanout(1)", ..., "fanout(8)"]`` as plain
+#: JSON strings and still sweep a structural axis.
+TOPOLOGY_FAMILIES: Dict[str, Callable[..., Topology]] = {}
+
+_FAMILY_REF = re.compile(r"^(?P<family>[\w.-]+)\((?P<arg>-?\d+)\)$")
+
+
+def register_topology_family(name: str, factory: Callable[..., Topology]) -> None:
+    """Register a parametric family reachable as ``name(n)`` references."""
+    if name in TOPOLOGY_FAMILIES:
+        raise ValueError(f"topology family {name!r} already registered")
+    TOPOLOGY_FAMILIES[name] = factory
+
+
+def parse_topology_ref(ref: str) -> Tuple[str, Optional[int]]:
+    """``"fanout(4)"`` → ``("fanout", 4)``; ``"microbench"`` → ``("microbench", None)``."""
+    if not isinstance(ref, str) or not ref.strip():
+        raise TopologySchemaError(
+            f"topology reference must be a non-empty string, got {ref!r}"
+        )
+    match = _FAMILY_REF.match(ref.strip())
+    if match:
+        return match.group("family"), int(match.group("arg"))
+    return ref.strip(), None
+
+
+def validate_topology_ref(ref: str) -> None:
+    """Check that ``ref`` names a registered topology or family.
+
+    Family *arguments* are deliberately not range-checked here: a sweep
+    spec with ``fanout(0)`` validates (the family exists) and fails at
+    run time inside that one spec, exercising per-spec failure
+    isolation instead of killing the whole sweep up-front.
+    """
+    name, arg = parse_topology_ref(ref)
+    if arg is not None:
+        if name not in TOPOLOGY_FAMILIES:
+            raise UnknownTopologyError(
+                f"unknown topology family {name!r} in {ref!r}; "
+                f"families: {', '.join(sorted(TOPOLOGY_FAMILIES))}"
+            )
+    elif name not in TOPOLOGIES:
+        raise UnknownTopologyError(
+            f"unknown topology {ref!r}; "
+            f"registered: {', '.join(sorted(TOPOLOGIES))}; "
+            f"families: {', '.join(f'{f}(n)' for f in sorted(TOPOLOGY_FAMILIES))}"
+        )
+
+
+def resolve_topology(ref: Union[str, Topology], **overrides) -> Topology:
+    """Turn a topology reference into a :class:`Topology` instance.
+
+    Accepts an instance (passed through), a registered name, or a
+    family reference like ``"fanout(6)"``.  This is the single entry
+    point the sweep/experiment layer uses for its ``topology`` params.
+    """
+    if isinstance(ref, Topology):
+        if overrides:
+            raise TypeError("topology overrides require a name, not an instance")
+        return ref
+    name, arg = parse_topology_ref(ref)
+    if arg is not None:
+        try:
+            family = TOPOLOGY_FAMILIES[name]
+        except KeyError:
+            raise UnknownTopologyError(
+                f"unknown topology family {name!r} in {ref!r}; "
+                f"families: {', '.join(sorted(TOPOLOGY_FAMILIES))}"
+            ) from None
+        return family(arg, **overrides)
+    return topology_by_name(name, **overrides)
 
 
 # ---------------------------------------------------------------------
@@ -314,3 +647,11 @@ def supernode_topology(
         nodes=tuple(nodes),
         links=links,
     )
+
+
+# Parametric families: sweep grids scale these with ``family(n)`` refs.
+register_topology_family("fanout", fanout_topology)
+register_topology_family("supernode", supernode_topology)
+
+# Shipped JSON layouts join the registry alongside the in-code ones.
+_register_shipped_layouts()

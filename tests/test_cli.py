@@ -83,12 +83,13 @@ def test_bench_quick_writes_json(tmp_path):
     workloads = payload["workloads"]
     for name in (
         "engine_drain", "engine_cancel", "cache_array", "rpc",
-        "system_build", "sweep_quick",
+        "system_build", "topology_load", "sweep_quick",
     ):
         assert name in workloads
         assert workloads[name]["wall_s"] >= 0
     assert workloads["engine_drain"]["events_per_sec"] > 0
     assert workloads["system_build"]["builds_per_sec"] > 0
+    assert workloads["topology_load"]["loads_per_sec"] > 0
     assert workloads["sweep_quick"]["specs"] == 10
     # Fast-mode MESI checking is restored after the bench.
     from repro.cache.mesi import fast_mode

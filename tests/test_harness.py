@@ -59,7 +59,7 @@ def test_registry_covers_every_figure_and_table():
         "table1", "table2", "fig4", "fig12", "fig13", "fig14", "fig15",
         "fig16", "fig17", "fig18a", "fig18b", "headline", "mape",
         # multi-device topology scenarios (repro.harness.topology_experiments)
-        "fanout2", "fanout4",
+        "fanout2", "fanout4", "topo-scale",
     }
     assert set(EXPERIMENTS) == expected
 

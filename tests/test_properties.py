@@ -1,8 +1,10 @@
 """Property-based tests on core data structures and invariants."""
 
+import copy
 import random
 
-from hypothesis import given, settings
+import pytest
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.cache.array import CacheArray
@@ -11,6 +13,12 @@ from repro.kernel.page_table import PAGE_SIZE, UnifiedPageTable
 from repro.mem.address import CACHELINE, Interleaver
 from repro.rao.ops import MASK64, AtomicOp, apply_atomic
 from repro.sim.engine import Simulator
+from repro.system import (
+    Topology,
+    TopologySchemaError,
+    topology_by_name,
+    topology_names,
+)
 
 
 # --------------------------- Event engine -----------------------------
@@ -136,6 +144,100 @@ def test_page_table_translate_consistent(vpns):
             mapped[vpn] = next_pfn
             next_pfn += 1
         assert pt.translate(vaddr + 7) == mapped[vpn] * PAGE_SIZE + 7
+
+
+# --------------------------- Topology specs ---------------------------
+@settings(max_examples=40)
+@given(st.sampled_from(topology_names()))
+def test_topology_dict_roundtrip_is_identity(name):
+    topology = topology_by_name(name)
+    data = topology.to_dict()
+    reparsed = Topology.from_dict(data)
+    assert reparsed == topology
+    assert reparsed.to_dict() == data
+
+
+def _corrupt_dangling_link(data):
+    data["links"] = list(data["links"]) + [
+        {"a": data["nodes"][0]["name"], "b": "no-such-node"}
+    ]
+    return True
+
+
+def _corrupt_duplicate_node(data):
+    data["nodes"] = list(data["nodes"]) + [copy.deepcopy(data["nodes"][0])]
+    return True
+
+
+def _corrupt_unknown_kind(data):
+    data["nodes"][0]["kind"] = "not.a.kind"
+    return True
+
+
+def _corrupt_node_missing_name(data):
+    del data["nodes"][0]["name"]
+    return True
+
+
+def _corrupt_node_not_object(data):
+    data["nodes"][0] = "just-a-string"
+    return True
+
+
+def _corrupt_nodes_not_list(data):
+    data["nodes"] = {"host": {"kind": "host"}}
+    return True
+
+
+def _corrupt_link_missing_endpoint(data):
+    if not data["links"]:
+        return False
+    del data["links"][0]["b"]
+    return True
+
+
+def _corrupt_unknown_top_key(data):
+    data["frobnicate"] = 1
+    return True
+
+
+def _corrupt_unknown_node_key(data):
+    data["nodes"][0]["color"] = "red"
+    return True
+
+
+def _corrupt_blank_name(data):
+    data["name"] = ""
+    return True
+
+
+_CORRUPTIONS = [
+    _corrupt_dangling_link,
+    _corrupt_duplicate_node,
+    _corrupt_unknown_kind,
+    _corrupt_node_missing_name,
+    _corrupt_node_not_object,
+    _corrupt_nodes_not_list,
+    _corrupt_link_missing_endpoint,
+    _corrupt_unknown_top_key,
+    _corrupt_unknown_node_key,
+    _corrupt_blank_name,
+]
+
+
+@settings(max_examples=80)
+@given(
+    st.sampled_from(topology_names()),
+    st.sampled_from(_CORRUPTIONS),
+)
+def test_malformed_topology_specs_raise_the_schema_error(name, corrupt):
+    """Every malformed spec fails as TopologySchemaError — never as a
+    bare KeyError leaking out of dict access."""
+    data = topology_by_name(name).to_dict()
+    assume(data["nodes"])  # corruptions index into nodes
+    assume(corrupt(data))
+    with pytest.raises(TopologySchemaError):
+        Topology.from_dict(data)
 
 
 # ------------------------------ Atomics -------------------------------

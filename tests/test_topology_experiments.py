@@ -6,10 +6,11 @@ import pytest
 from cli_helpers import run_cli
 
 from repro.config import UnknownProfileError, system_by_name
-from repro.experiments import preset_sweep
+from repro.experiments import SpecError, preset_sweep, run_sweep
 from repro.experiments.spec import SweepSpec
 from repro.harness import experiments as harness
 from repro.harness.topology_experiments import fanout_scaling
+from repro.system import UnknownTopologyError, topology_by_name
 
 
 # --------------------------- fan-out physics --------------------------
@@ -67,6 +68,86 @@ def test_topology_preset_covers_both_fanouts():
     sweep.validate()
 
 
+# ----------------------- topology sweep axis --------------------------
+def _topology_axis_sweep(refs, name="topo-axis"):
+    return SweepSpec.from_dict(
+        {
+            "name": name,
+            "experiments": [
+                {
+                    "experiment": "topo-scale",
+                    "params": {"count": 4, "trials": 2, "bw_count": 64},
+                    "grid": {"topology": list(refs)},
+                }
+            ],
+        }
+    )
+
+
+def test_topology_axis_expands_with_distinct_hashes():
+    sweep = _topology_axis_sweep([f"fanout({n})" for n in range(1, 9)])
+    sweep.validate()
+    specs = sweep.expand()
+    assert len(specs) == 8
+    assert len({spec.spec_hash for spec in specs}) == 8  # one cache key per count
+    assert {spec.params["topology"] for spec in specs} == {
+        f"fanout({n})" for n in range(1, 9)
+    }
+
+
+def test_topology_axis_hits_result_cache(tmp_path):
+    sweep = _topology_axis_sweep(["fanout(1)", "fanout(2)"])
+    first = run_sweep(sweep, tmp_path / "run", jobs=1)
+    assert len(first.executed) == 2 and first.ok
+    again = run_sweep(sweep, tmp_path / "run", jobs=1)
+    assert again.cached == 2 and not again.executed
+
+
+def test_topology_axis_failure_isolation(tmp_path):
+    # fanout(0) validates (the family exists) but fails to build at run
+    # time; it must fail alone, leaving the other spec cached as ok.
+    sweep = _topology_axis_sweep(["fanout(0)", "fanout(2)"])
+    sweep.validate()
+    outcome = run_sweep(sweep, tmp_path / "run", jobs=1)
+    assert len(outcome.failed) == 1
+    assert "at least one device" in outcome.failed[0].error
+    assert len(outcome.executed) == 2
+    again = run_sweep(sweep, tmp_path / "run", jobs=1)
+    assert again.cached == 1 and len(again.executed) == 1  # only the failure re-runs
+
+
+def test_unknown_topology_axis_fails_validation_up_front():
+    with pytest.raises(SpecError) as excinfo:
+        _topology_axis_sweep(["fanout(2)", "no-such-layout"]).validate()
+    assert "no-such-layout" in str(excinfo.value)
+    with pytest.raises(SpecError) as excinfo:
+        _topology_axis_sweep(["nofamily(3)"]).validate()
+    assert "nofamily" in str(excinfo.value)
+
+
+def test_topology_param_in_fixed_params_is_validated_too():
+    sweep = SweepSpec.from_dict(
+        {
+            "name": "fixed",
+            "experiments": [
+                {"experiment": "topo-scale", "params": {"topology": "bogus"}}
+            ],
+        }
+    )
+    with pytest.raises(SpecError, match="bogus"):
+        sweep.validate()
+
+
+def test_topology_scale_preset_sweeps_counts_1_to_8():
+    sweep = preset_sweep("topology-scale")
+    sweep.validate()
+    specs = sweep.expand()
+    assert {spec.params["topology"] for spec in specs} == {
+        f"fanout({n})" for n in range(1, 9)
+    }
+    assert len({spec.spec_hash for spec in specs}) == 8
+
+
 # ------------------------- profile handling ---------------------------
 def test_unknown_profile_is_a_value_error_listing_options():
     with pytest.raises(ValueError) as excinfo:
@@ -122,14 +203,39 @@ def test_topology_list_and_show():
     code, out = run_cli("topology", "list")
     assert code == 0
     assert "fanout-2" in out and "supernode-2host" in out
+    assert "fanout-8" in out  # shipped JSON layouts are registered too
 
     code, out = run_cli("topology", "show", "fanout-4")
     assert code == 0
     assert "dev3" in out and "cxl.type1" in out
 
+    code, out = run_cli("topology", "show")
+    assert code == 2
+
+
+def test_unknown_topology_is_a_listing_error_like_unknown_profile():
+    # Same contract as system_by_name/UnknownProfileError: a dedicated
+    # ValueError subclass whose message enumerates the valid options.
+    with pytest.raises(ValueError) as excinfo:
+        topology_by_name("nope")
+    assert isinstance(excinfo.value, UnknownTopologyError)
+    assert "nope" in str(excinfo.value)
+    assert "microbench" in str(excinfo.value) and "fanout-2" in str(excinfo.value)
+
     code, out = run_cli("topology", "show", "nope")
     assert code == 2
     assert "unknown topology" in out
+    assert "registered:" in out and "microbench" in out  # listing-style
 
-    code, out = run_cli("topology", "show")
+
+def test_sweep_positional_accepts_preset_names(tmp_path):
+    code, out = run_cli(
+        "sweep", "topology-scale", "--jobs", "1", "--out", str(tmp_path / "r")
+    )
+    assert code == 0
+    assert "8 specs" in out and "0 failed" in out
+
+    code, out = run_cli("sweep", "definitely-not-a-preset")
     assert code == 2
+    assert "no such sweep spec file or preset" in out
+    assert "topology-scale" in out  # the preset listing
