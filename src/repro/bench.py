@@ -199,6 +199,38 @@ def bench_topology_load(loads: int = 50) -> Dict[str, Any]:
     return result
 
 
+def bench_workload_gen(ops: int = 100_000, seed: int = 17) -> Dict[str, Any]:
+    """Expand the built-in generators until ``ops`` operations exist.
+
+    Tracks the workload layer's stream-generation throughput — ref
+    parsing, registry dispatch, seeded expansion (including the Zipf
+    CDF build and a phase composition) — which sits on the setup path
+    of every workload-driven experiment and trace recording.
+    """
+    from repro.workloads import resolve_workload
+
+    refs = (
+        "sequential(4096)",
+        "zipf(4096,1.2)",
+        "pointer-chase(4096,512)",
+        "rw-mix(4096,0.7)",
+        "mixed(1024)",
+    )
+
+    def run() -> Dict[str, Any]:
+        produced = 0
+        rounds = 0
+        while produced < ops:
+            workload = resolve_workload(refs[rounds % len(refs)])
+            produced += len(workload.ops(seed + rounds))
+            rounds += 1
+        return {"ops": produced, "rounds": rounds}
+
+    result = _timed(run)
+    result["ops_per_sec"] = round(result["ops"] / max(result["wall_s"], 1e-9))
+    return result
+
+
 def bench_sweep(jobs: int = 1) -> Dict[str, Any]:
     """The ``quick`` sweep preset end-to-end (the acceptance workload).
 
@@ -255,6 +287,10 @@ def run_bench(quick: bool = False, progress: Progress = None) -> Dict[str, Any]:
     note("topology_load ...")
     workloads["topology_load"] = bench_topology_load(loads=10 if quick else 50)
     note(f"topology_load: {workloads['topology_load']['loads_per_sec']:,} loads/s")
+
+    note("workload_gen ...")
+    workloads["workload_gen"] = bench_workload_gen(ops=int(100_000 * scale) or 1)
+    note(f"workload_gen: {workloads['workload_gen']['ops_per_sec']:,} ops/s")
 
     note("sweep_quick ...")
     workloads["sweep_quick"] = bench_sweep()

@@ -30,6 +30,12 @@ ALLOWED_TRANSITIONS: Dict[Tuple[MesiState, str], FrozenSet[MesiState]] = {
     (S, "local_read"): frozenset({S}),
     (S, "upgrade"): frozenset({M}),
     (S, "snp_inv"): frozenset({I}),
+    # A shared copy answering a data snoop keeps its clean S line (the
+    # home agent already has the data).  Reached when concurrent devices
+    # share a line: an owner's directory entry is written at the home
+    # agent before its exclusive fill crosses the flexbus back, so a
+    # same-window read from another device can snoop the stale S copy.
+    (S, "snp_data"): frozenset({S}),
     (S, "evict"): frozenset({I}),
     (E, "local_read"): frozenset({E}),
     (E, "local_write"): frozenset({M}),  # silent upgrade (Fig. 7 phase 2)

@@ -12,6 +12,10 @@ Usage::
     python -m repro topology dump fanout-2 --out fanout2.json
     python -m repro topology load fanout2.json
     python -m repro topology validate examples/topologies/*.json
+    python -m repro workload list
+    python -m repro workload show "zipf(256,1.2)"
+    python -m repro workload record mixed --seed 7 --out mixed.jsonl
+    python -m repro workload replay mixed.jsonl --topology fanout-2
     python -m repro sweep --preset quick --jobs 4
     python -m repro sweep topology-scale --jobs 2
     python -m repro sweep my_sweep.json --out runs/mine
@@ -147,6 +151,88 @@ def _cmd_topology(args: argparse.Namespace, out: IO[str]) -> int:
             out.write(text)
         return 0
     out.write(topology.describe())
+    out.write("\n")
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace, out: IO[str]) -> int:
+    from repro.config import system_by_name
+    from repro.workloads import (
+        UnknownWorkloadError,
+        WorkloadDriver,
+        WorkloadDriverError,
+        WorkloadSchemaError,
+        dump_trace,
+        load_trace,
+        resolve_workload,
+        workload_description,
+        workload_names,
+    )
+
+    if args.action == "list":
+        names = workload_names()
+        width = max(len(name) for name in names)
+        out.write("registered workloads:\n")
+        for name in names:
+            out.write(f"  {name:<{width}}  {workload_description(name)}\n")
+        return 0
+    if args.action == "show":
+        if len(args.names) != 1:
+            out.write("workload show needs a name or reference "
+                      "(see 'repro workload list')\n")
+            return 2
+        try:
+            workload = resolve_workload(args.names[0])
+        except (UnknownWorkloadError, WorkloadSchemaError, ValueError) as exc:
+            out.write(f"{exc}\n")
+            return 2
+        out.write(workload.describe(seed=args.seed))
+        out.write("\n")
+        return 0
+    if args.action == "record":
+        if len(args.names) != 1:
+            out.write("workload record needs a name or reference\n")
+            return 2
+        if not args.out:
+            out.write("workload record needs --out TRACE.jsonl\n")
+            return 2
+        try:
+            workload = resolve_workload(args.names[0])
+            text = dump_trace(workload, seed=args.seed, path=args.out)
+        except (UnknownWorkloadError, WorkloadSchemaError, ValueError) as exc:
+            out.write(f"{exc}\n")
+            return 2
+        ops = len(text.splitlines()) - 1
+        out.write(f"wrote {args.out}: {workload.name}, seed {args.seed}, "
+                  f"{ops} ops\n")
+        return 0
+    # replay: drive a recorded trace (or a live reference) through a system.
+    if len(args.names) != 1:
+        out.write("workload replay needs a trace file (or workload reference)\n")
+        return 2
+    source = args.names[0]
+    # Anything path-shaped (a .jsonl suffix or a directory separator)
+    # is a trace file, so a mistyped path reports "cannot read trace"
+    # instead of being misparsed as a workload reference.
+    path = Path(source)
+    is_trace = path.is_file() or path.suffix == ".jsonl" or len(path.parts) > 1
+    try:
+        if is_trace:
+            workload = load_trace(source)
+        else:
+            workload = resolve_workload(source)
+        driver = WorkloadDriver(system_by_name(args.profile))
+        measurement = driver.run(
+            workload,
+            topology=args.topology,
+            seed=args.seed,
+            streams=args.streams,
+        )
+    except (UnknownWorkloadError, WorkloadSchemaError, WorkloadDriverError,
+            ValueError) as exc:
+        out.write(f"{exc}\n")
+        return 2
+    out.write(measurement.render())
     out.write("\n")
     return 0
 
@@ -311,6 +397,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", help="write 'dump' JSON to this file instead of stdout"
     )
 
+    workload = sub.add_parser(
+        "workload",
+        help="list, inspect, record, or replay traffic workloads",
+    )
+    workload.add_argument(
+        "action", choices=["list", "show", "record", "replay"]
+    )
+    workload.add_argument(
+        "names", nargs="*",
+        help="workload name/reference (show/record) or trace file (replay)",
+    )
+    workload.add_argument(
+        "--seed", type=int, default=1234,
+        help="expansion seed for show/record and live replay (default 1234)",
+    )
+    workload.add_argument(
+        "--out", help="trace file to write ('record' only)"
+    )
+    workload.add_argument(
+        "--topology", default="microbench",
+        help="topology reference to replay through (default: microbench)",
+    )
+    workload.add_argument(
+        "--profile", default="fpga",
+        help="system profile for replay (default: fpga)",
+    )
+    workload.add_argument(
+        "--streams", type=int, default=None,
+        help="re-stripe a single-stream workload across N issue chains",
+    )
+
     sweep = sub.add_parser(
         "sweep", help="run a parameter sweep in parallel, persisting results"
     )
@@ -357,6 +474,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "info": _cmd_info,
     "topology": _cmd_topology,
+    "workload": _cmd_workload,
     "sweep": _cmd_sweep,
     "report": _cmd_report,
     "compare": _cmd_compare,

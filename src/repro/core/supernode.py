@@ -67,6 +67,7 @@ class Supernode:
         memory_granule: int = 1 << 30,
         switch_traversal_ps: int = 70_000,
         prebuilt_hosts: Optional[List[SupernodeHost]] = None,
+        root_ports: int = 8,
     ) -> None:
         if prebuilt_hosts is not None:
             host_list = list(prebuilt_hosts)
@@ -81,7 +82,9 @@ class Supernode:
             raise ValueError("a supernode needs at least one host")
         self.config = config
         self.fabric = SwitchFabric()
-        root = self.fabric.add_switch(CxlSwitch("root", switch_traversal_ps))
+        root = self.fabric.add_switch(
+            CxlSwitch("root", switch_traversal_ps, ports=root_ports)
+        )
         self.manager = FabricManager("supernode-fm")
 
         self.hosts: Dict[str, SupernodeHost] = {}
@@ -114,6 +117,7 @@ class Supernode:
         fabric_memory_bytes: int = 4 << 30,
         memory_granule: int = 1 << 30,
         switch_traversal_ps: int = 70_000,
+        root_ports: int = 8,
     ) -> "Supernode":
         """Wire a supernode around hosts that were built individually.
 
@@ -128,6 +132,7 @@ class Supernode:
             memory_granule=memory_granule,
             switch_traversal_ps=switch_traversal_ps,
             prebuilt_hosts=hosts,
+            root_ports=root_ports,
         )
 
     # ------------------------------------------------------------------
@@ -260,4 +265,5 @@ def _build_supernode_fabric(builder, system, spec) -> Supernode:
         fabric_memory_bytes=int(spec.params.get("fabric_memory_bytes", 4 << 30)),
         memory_granule=int(spec.params.get("memory_granule", 1 << 30)),
         switch_traversal_ps=int(spec.params.get("switch_traversal_ps", 70_000)),
+        root_ports=int(spec.params.get("root_ports", 8)),
     )

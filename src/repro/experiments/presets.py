@@ -55,6 +55,36 @@ PRESETS: Dict[str, dict] = {
             },
         ],
     },
+    "workload-mix": {
+        # Traffic as a sweep axis: the same LSU-bearing layout driven
+        # by four generators (incl. one phase-composed mix), plus
+        # coherent generator traffic through per-host supernode
+        # systems.  Quick sizes so CI can sweep it as a smoke test.
+        "name": "workload-mix",
+        "repeats": 1,
+        "base_seed": 1234,
+        "experiments": [
+            {
+                "experiment": "workload-mix",
+                "params": {"topology": "fanout-2", "streams": 2},
+                "grid": {
+                    "workload": [
+                        "sequential(128)",
+                        "zipf(128,1.2)",
+                        "producer-consumer(64,16)",
+                        "mixed(64)",
+                    ],
+                },
+            },
+            {
+                "experiment": "supernode-workload",
+                "params": {"hosts": 2},
+                "grid": {
+                    "workload": ["zipf(128,1.2)", "producer-consumer(64,16)"],
+                },
+            },
+        ],
+    },
     "paper": {
         "name": "paper",
         "repeats": 1,

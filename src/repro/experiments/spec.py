@@ -179,6 +179,10 @@ class SweepSpec:
     #: sweep up-front like a typo'd experiment parameter does.
     TOPOLOGY_PARAM = "topology"
 
+    #: Param key whose values are workload references, validated against
+    #: the workload registry with the same fail-up-front contract.
+    WORKLOAD_PARAM = "workload"
+
     def validate(self) -> None:
         """Check every group against the experiment registry up-front."""
         from repro.harness.experiments import spec_parameters
@@ -202,17 +206,25 @@ class SweepSpec:
                     f"accepted: {sorted(accepted)}"
                 )
             self._validate_topology_refs(group)
+            self._validate_workload_refs(group)
+
+    @classmethod
+    def _axis_values(cls, group: SweepGroup, param: str) -> List[object]:
+        refs = []
+        if param in group.params:
+            refs.append(group.params[param])
+        refs.extend(group.grid.get(param, ()))
+        return refs
 
     def _validate_topology_refs(self, group: SweepGroup) -> None:
         """Fail up-front on topology axes that name no registered layout.
 
+        A topology value may also be an *inline* JSON spec (a node/link
+        object straight in the grid) — those schema-validate in full.
         Family *arguments* stay unchecked (a bad ``fanout(0)`` fails at
         run time inside its own spec, covered by failure isolation).
         """
-        refs = []
-        if self.TOPOLOGY_PARAM in group.params:
-            refs.append(group.params[self.TOPOLOGY_PARAM])
-        refs.extend(group.grid.get(self.TOPOLOGY_PARAM, ()))
+        refs = self._axis_values(group, self.TOPOLOGY_PARAM)
         if not refs:
             return
         from repro.system.topology import validate_topology_ref
@@ -220,6 +232,21 @@ class SweepSpec:
         for ref in refs:
             try:
                 validate_topology_ref(ref)
+            except ValueError as exc:
+                raise SpecError(
+                    f"experiment {group.experiment!r}: {exc}"
+                ) from None
+
+    def _validate_workload_refs(self, group: SweepGroup) -> None:
+        """Fail up-front on workload axes that name no registered generator."""
+        refs = self._axis_values(group, self.WORKLOAD_PARAM)
+        if not refs:
+            return
+        from repro.workloads import validate_workload_ref
+
+        for ref in refs:
+            try:
+                validate_workload_ref(ref)
             except ValueError as exc:
                 raise SpecError(
                     f"experiment {group.experiment!r}: {exc}"

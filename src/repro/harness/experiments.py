@@ -492,7 +492,8 @@ def run_experiment(name: str, **params) -> ExperimentResult:
     return EXPERIMENTS[name](**params)
 
 
-# Multi-device topology experiments register themselves on import; this
-# must stay after the registry helpers so the module is self-contained
-# for every consumer of EXPERIMENTS.
+# Multi-device topology and workload-driven experiments register
+# themselves on import; these must stay after the registry helpers so
+# the module is self-contained for every consumer of EXPERIMENTS.
 from repro.harness import topology_experiments as _topology_experiments  # noqa: E402,F401
+from repro.harness import workload_experiments as _workload_experiments  # noqa: E402,F401

@@ -18,6 +18,12 @@ from repro.system.registry import (
     component_kinds,
     register_component,
 )
+from repro.system.validation import (
+    DEFAULT_PORT_BUDGETS,
+    TopologyConfigError,
+    hdm_capacity_bytes,
+    validate_topology_config,
+)
 from repro.system.topology import (
     HDM_BASE,
     LinkSpec,
@@ -52,6 +58,10 @@ __all__ = [
     "component_factory",
     "component_kinds",
     "register_component",
+    "DEFAULT_PORT_BUDGETS",
+    "TopologyConfigError",
+    "hdm_capacity_bytes",
+    "validate_topology_config",
     "HDM_BASE",
     "LinkSpec",
     "NodeSpec",

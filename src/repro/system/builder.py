@@ -113,6 +113,12 @@ class SystemBuilder:
                 "topology overrides are only valid with a registered name"
             )
         topology.validate()
+        # Resource fit (port budgets, HDM capacity) is judged against
+        # this builder's config before any component exists, so an
+        # over-subscribed layout fails with one listing-style report.
+        from repro.system.validation import validate_topology_config
+
+        validate_topology_config(topology, self.config)
         self._hdm_cursor = HDM_BASE
         system = BuiltSystem(
             config=self.config, topology=topology, sim=Simulator()

@@ -1,0 +1,51 @@
+"""Shared grammar for parametric reference strings: ``name(arg, ...)``.
+
+Both registry layers that accept references in sweep grids — topologies
+(``"fanout(6)"``, ``"supernode(2, 1073741824)"``) and workloads
+(``"zipf(512,1.2)"``) — parse the same shape: a name, optionally
+followed by a parenthesised list of numeric arguments.  This module is
+the single implementation of that grammar, so the two axes cannot
+drift; each layer wraps :func:`parse_parametric_ref` and re-raises
+:class:`ValueError` as its own schema-error type.
+
+Deliberately import-light (stdlib ``re`` only): both
+:mod:`repro.system.topology` and :mod:`repro.workloads.base` import it
+at module load.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple, Union
+
+_REF = re.compile(r"^(?P<name>[\w.-]+)\((?P<args>[^()]*)\)$")
+_NUMBER = re.compile(r"^-?\d+(?:\.\d+)?$")
+
+
+def parse_parametric_ref(ref: str) -> Tuple[str, Tuple[Union[int, float], ...]]:
+    """``"zipf(512,1.2)"`` → ``("zipf", (512, 1.2))``.
+
+    Only call this for strings containing ``"("`` — bare registry names
+    are the caller's fast path (and may contain characters this grammar
+    does not allow).  Ints stay ints, decimal tokens become floats;
+    empty argument lists, non-numeric tokens, and anything else that
+    fails the grammar raise :class:`ValueError` naming the offender.
+    """
+    match = _REF.match(ref)
+    if not match:
+        raise ValueError(
+            f"malformed reference {ref!r}; expected 'name' or "
+            "'name(arg, ...)' with numeric args"
+        )
+    raw_args = match.group("args")
+    if not raw_args.strip():
+        raise ValueError(f"reference {ref!r} has an empty argument list")
+    args: List[Union[int, float]] = []
+    for token in raw_args.split(","):
+        token = token.strip()
+        if not _NUMBER.match(token):
+            raise ValueError(
+                f"reference {ref!r}: argument {token!r} is not a number"
+            )
+        args.append(float(token) if "." in token else int(token))
+    return match.group("name"), tuple(args)

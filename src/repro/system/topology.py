@@ -31,6 +31,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
+from repro.system.refs import parse_parametric_ref
+
 HDM_BASE = 0x8_0000_0000  # device HDM windows start at 32 GB
 
 
@@ -407,43 +409,62 @@ def _register_shipped_layouts(directory: Path = SHIPPED_TOPOLOGY_DIR) -> None:
 # ---------------------------------------------------------------------
 # Parametric families and sweep-grid references
 # ---------------------------------------------------------------------
-#: Families take one integer scale argument (device/host count), so a
-#: sweep grid can hold ``["fanout(1)", ..., "fanout(8)"]`` as plain
-#: JSON strings and still sweep a structural axis.
+#: Families take positional scale arguments — one (``"fanout(8)"``,
+#: device count) or several (``"supernode(4, 536870912)"``, host count
+#: plus lease granule) — so a sweep grid can hold plain JSON strings
+#: and still sweep a structural axis.
 TOPOLOGY_FAMILIES: Dict[str, Callable[..., Topology]] = {}
 
-_FAMILY_REF = re.compile(r"^(?P<family>[\w.-]+)\((?P<arg>-?\d+)\)$")
-
-
 def register_topology_family(name: str, factory: Callable[..., Topology]) -> None:
-    """Register a parametric family reachable as ``name(n)`` references."""
+    """Register a parametric family reachable as ``name(args...)`` references."""
     if name in TOPOLOGY_FAMILIES:
         raise ValueError(f"topology family {name!r} already registered")
     TOPOLOGY_FAMILIES[name] = factory
 
 
-def parse_topology_ref(ref: str) -> Tuple[str, Optional[int]]:
-    """``"fanout(4)"`` → ``("fanout", 4)``; ``"microbench"`` → ``("microbench", None)``."""
+def parse_topology_ref(
+    ref: str,
+) -> Tuple[str, Optional[Tuple[Union[int, float], ...]]]:
+    """``"fanout(4)"`` → ``("fanout", (4,))``; ``"microbench"`` → ``("microbench", None)``.
+
+    Family references take one or more comma-separated numeric
+    arguments (``"supernode(2, 536870912)"``) through the shared
+    :func:`~repro.system.refs.parse_parametric_ref` grammar; malformed
+    ones raise :class:`TopologySchemaError` naming the offending token.
+    Strings without parentheses pass through as plain registry names.
+    """
     if not isinstance(ref, str) or not ref.strip():
         raise TopologySchemaError(
             f"topology reference must be a non-empty string, got {ref!r}"
         )
-    match = _FAMILY_REF.match(ref.strip())
-    if match:
-        return match.group("family"), int(match.group("arg"))
-    return ref.strip(), None
+    ref = ref.strip()
+    if "(" not in ref and ")" not in ref:
+        return ref, None
+    try:
+        return parse_parametric_ref(ref)
+    except ValueError as exc:
+        raise TopologySchemaError(f"topology {exc}") from None
 
 
-def validate_topology_ref(ref: str) -> None:
-    """Check that ``ref`` names a registered topology or family.
+def validate_topology_ref(ref: Union[str, Mapping, "Topology"]) -> None:
+    """Check that ``ref`` identifies a topology the sweep layer can build.
 
-    Family *arguments* are deliberately not range-checked here: a sweep
-    spec with ``fanout(0)`` validates (the family exists) and fails at
-    run time inside that one spec, exercising per-spec failure
-    isolation instead of killing the whole sweep up-front.
+    Accepts a registered name, a family reference, a :class:`Topology`
+    instance, or an *inline* JSON spec (a node/link object straight in
+    a sweep grid) — inline specs schema-validate in full, so a
+    malformed one fails the sweep up-front like a typo'd name.  Family
+    *arguments* are deliberately not range-checked here: a sweep spec
+    with ``fanout(0)`` validates (the family exists) and fails at run
+    time inside that one spec, exercising per-spec failure isolation
+    instead of killing the whole sweep up-front.
     """
-    name, arg = parse_topology_ref(ref)
-    if arg is not None:
+    if isinstance(ref, Topology):
+        return
+    if isinstance(ref, Mapping):
+        Topology.from_dict(ref)
+        return
+    name, args = parse_topology_ref(ref)
+    if args is not None:
         if name not in TOPOLOGY_FAMILIES:
             raise UnknownTopologyError(
                 f"unknown topology family {name!r} in {ref!r}; "
@@ -457,19 +478,29 @@ def validate_topology_ref(ref: str) -> None:
         )
 
 
-def resolve_topology(ref: Union[str, Topology], **overrides) -> Topology:
+def resolve_topology(
+    ref: Union[str, Mapping, "Topology"], **overrides
+) -> Topology:
     """Turn a topology reference into a :class:`Topology` instance.
 
-    Accepts an instance (passed through), a registered name, or a
-    family reference like ``"fanout(6)"``.  This is the single entry
-    point the sweep/experiment layer uses for its ``topology`` params.
+    Accepts an instance (passed through), an inline JSON spec dict
+    (parsed with full schema validation), a registered name, or a
+    family reference like ``"fanout(6)"`` / ``"supernode(2, 1073741824)"``.
+    This is the single entry point the sweep/experiment layer uses for
+    its ``topology`` params.
     """
     if isinstance(ref, Topology):
         if overrides:
             raise TypeError("topology overrides require a name, not an instance")
         return ref
-    name, arg = parse_topology_ref(ref)
-    if arg is not None:
+    if isinstance(ref, Mapping):
+        if overrides:
+            raise TypeError(
+                "topology overrides require a name, not an inline spec"
+            )
+        return Topology.from_dict(ref)
+    name, args = parse_topology_ref(ref)
+    if args is not None:
         try:
             family = TOPOLOGY_FAMILIES[name]
         except KeyError:
@@ -477,7 +508,7 @@ def resolve_topology(ref: Union[str, Topology], **overrides) -> Topology:
                 f"unknown topology family {name!r} in {ref!r}; "
                 f"families: {', '.join(sorted(TOPOLOGY_FAMILIES))}"
             ) from None
-        return family(arg, **overrides)
+        return family(*args, **overrides)
     return topology_by_name(name, **overrides)
 
 
@@ -649,9 +680,40 @@ def supernode_topology(
     )
 
 
-# Parametric families: sweep grids scale these with ``family(n)`` refs.
-register_topology_family("fanout", fanout_topology)
-register_topology_family("supernode", supernode_topology)
+def _integral_arg(family: str, knob: str, value: Union[int, float]) -> int:
+    """Family args arrive as ints or floats; count-like knobs must be whole."""
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise TopologySchemaError(
+                f"topology family {family!r}: {knob} must be an integer, "
+                f"got {value!r}"
+            )
+        return int(value)
+    return value
+
+
+def _fanout_family(devices: Union[int, float] = 2, **overrides) -> Topology:
+    """``fanout(n)``: n type-1 devices sharing one host LLC home agent."""
+    return fanout_topology(_integral_arg("fanout", "devices", devices), **overrides)
+
+
+def _supernode_family(
+    hosts: Union[int, float] = 2,
+    memory_granule: Union[int, float] = 1 << 30,
+    **overrides,
+) -> Topology:
+    """``supernode(hosts)`` / ``supernode(hosts, granule)``: multi-host
+    layout with an optional fabric lease-granule size in bytes."""
+    return supernode_topology(
+        _integral_arg("supernode", "hosts", hosts),
+        memory_granule=_integral_arg("supernode", "memory_granule", memory_granule),
+        **overrides,
+    )
+
+
+# Parametric families: sweep grids scale these with ``family(args...)`` refs.
+register_topology_family("fanout", _fanout_family)
+register_topology_family("supernode", _supernode_family)
 
 # Shipped JSON layouts join the registry alongside the in-code ones.
 _register_shipped_layouts()

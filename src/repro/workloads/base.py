@@ -1,0 +1,232 @@
+"""Workload abstraction: named, seeded, deterministic operation streams.
+
+A :class:`Workload` is the *traffic* of a simulated scenario the same
+way a :class:`~repro.system.topology.Topology` is its *shape*: a
+declarative, registry-addressable object that expands — under a fixed
+seed — into one deterministic stream of timed memory operations
+(:class:`WorkloadOp`).  The :class:`~repro.workloads.driver.WorkloadDriver`
+issues that stream through any builder-constructed system; the trace
+layer (:mod:`repro.workloads.trace`) records and replays it
+bit-identically.
+
+Workloads register by name in :data:`WORKLOADS` so harnesses, sweep
+grids and the CLI (``repro workload list|show|record|replay``) can
+refer to an access pattern with a plain string.  Registered entries are
+*factories*: they accept positional knobs (op counts, skew exponents,
+read fractions) and return a fresh :class:`Workload`, so a sweep grid
+can hold parametric references like ``"zipf(512,1.2)"`` as plain JSON
+strings — the same convention :data:`~repro.system.topology.TOPOLOGY_FAMILIES`
+uses for structural axes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.mem.address import CACHELINE
+from repro.system.refs import parse_parametric_ref
+
+
+class WorkloadSchemaError(ValueError):
+    """A workload reference or trace file is malformed.
+
+    The workload-layer counterpart of
+    :class:`repro.system.topology.TopologySchemaError`: every malformed
+    input raises this one type with a message naming the offending
+    element.
+    """
+
+
+class UnknownWorkloadError(ValueError):
+    """A name/reference does not identify a registered workload.
+
+    Listing-style, matching :class:`repro.system.topology.UnknownTopologyError`:
+    the message always enumerates the valid options.
+    """
+
+
+@dataclass(frozen=True)
+class WorkloadOp:
+    """One timed memory operation of a workload stream.
+
+    ``addr`` is workload-relative — the driver rebases the whole stream
+    into the target system's address map, so two streams touching the
+    same ``addr`` share a cache line wherever the workload runs.
+    ``delay_ps`` is the think time between the previous completion on
+    the same ``stream`` and this issue; ``stream`` indexes the issuing
+    agent (LSU or supernode host, assigned round-robin by the driver).
+    """
+
+    kind: str  # "read" | "write"
+    addr: int
+    size: int = CACHELINE
+    delay_ps: int = 0
+    stream: int = 0
+
+    KINDS = ("read", "write")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise WorkloadSchemaError(
+                f"workload op kind must be one of {self.KINDS}, got {self.kind!r}"
+            )
+        for name in ("addr", "size", "delay_ps", "stream"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise WorkloadSchemaError(
+                    f"workload op {name} must be a non-negative integer, "
+                    f"got {value!r}"
+                )
+        if self.size == 0:
+            raise WorkloadSchemaError("workload op size must be positive")
+
+
+#: ``generate(rng) -> iterable of WorkloadOp`` — the rng is the only
+#: source of randomness, which is what makes streams seed-deterministic.
+OpGenerator = Callable[[random.Random], Iterable[WorkloadOp]]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named, seeded, deterministic stream of timed memory operations."""
+
+    name: str
+    description: str = ""
+    params: Dict[str, object] = field(default_factory=dict)
+    generate: Optional[OpGenerator] = None
+
+    def ops(self, seed: int = 1234) -> List[WorkloadOp]:
+        """Expand the stream under ``seed``; same seed, same ops."""
+        if self.generate is None:
+            return []
+        return list(self.generate(random.Random(seed)))
+
+    def describe(self, seed: int = 1234, preview: int = 8) -> str:
+        """Multi-line rendering used by ``repro workload show``."""
+        ops = self.ops(seed)
+        reads = sum(1 for op in ops if op.kind == "read")
+        streams = sorted({op.stream for op in ops})
+        lines = [f"workload {self.name}"]
+        if self.description:
+            lines.append(f"  {self.description}")
+        if self.params:
+            rendered = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.params.items())
+            )
+            lines.append(f"  params: {rendered}")
+        lines.append(
+            f"  ops (seed {seed}): {len(ops)} "
+            f"({reads} reads / {len(ops) - reads} writes, "
+            f"{len(streams)} stream{'s' if len(streams) != 1 else ''})"
+        )
+        for op in ops[:preview]:
+            lines.append(
+                f"    {op.kind:<5} addr=0x{op.addr:06x} size={op.size}"
+                f" delay_ps={op.delay_ps} stream={op.stream}"
+            )
+        if len(ops) > preview:
+            lines.append(f"    ... {len(ops) - preview} more")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------
+WorkloadFactory = Callable[..., Workload]
+
+WORKLOADS: Dict[str, WorkloadFactory] = {}
+
+
+def register_workload(name: str) -> Callable[[WorkloadFactory], WorkloadFactory]:
+    """Decorator: register a workload factory under ``name``."""
+
+    def decorate(factory: WorkloadFactory) -> WorkloadFactory:
+        if name in WORKLOADS:
+            raise ValueError(f"workload {name!r} already registered")
+        WORKLOADS[name] = factory
+        return factory
+
+    return decorate
+
+
+def workload_by_name(name: str, *args) -> Workload:
+    """Instantiate a registered workload, forwarding positional knobs."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise UnknownWorkloadError(
+            f"unknown workload {name!r}; "
+            f"registered: {', '.join(sorted(WORKLOADS))}"
+        ) from None
+    return factory(*args)
+
+
+def workload_names() -> Tuple[str, ...]:
+    return tuple(sorted(WORKLOADS))
+
+
+def workload_description(name: str) -> str:
+    """First docstring line of a registered factory (for listings)."""
+    factory = WORKLOADS[name]
+    doc = (factory.__doc__ or "").strip().splitlines()
+    return doc[0] if doc else ""
+
+
+# ---------------------------------------------------------------------
+# References: "zipf(512,1.2)"-style parametric strings
+# ---------------------------------------------------------------------
+def parse_workload_ref(ref: str) -> Tuple[str, Tuple[Union[int, float], ...]]:
+    """``"zipf(512,1.2)"`` → ``("zipf", (512, 1.2))``; bare names get ``()``.
+
+    The argument grammar is the shared
+    :func:`~repro.system.refs.parse_parametric_ref` (the same one
+    topology family references use), so the two sweep axes cannot
+    drift; malformed references raise :class:`WorkloadSchemaError`
+    naming the offending token.
+    """
+    if not isinstance(ref, str) or not ref.strip():
+        raise WorkloadSchemaError(
+            f"workload reference must be a non-empty string, got {ref!r}"
+        )
+    ref = ref.strip()
+    if "(" not in ref and ")" not in ref:
+        return ref, ()
+    try:
+        return parse_parametric_ref(ref)
+    except ValueError as exc:
+        raise WorkloadSchemaError(f"workload {exc}") from None
+
+
+def validate_workload_ref(ref: Union[str, Workload]) -> None:
+    """Check that ``ref`` is a workload or names a registered factory.
+
+    Factory *arguments* are deliberately not range-checked here: a sweep
+    spec with ``zipf(-1)`` validates (the factory exists) and fails at
+    run time inside that one spec, exercising per-spec failure
+    isolation — the same contract as
+    :func:`repro.system.topology.validate_topology_ref`.
+    """
+    if isinstance(ref, Workload):
+        return
+    name, _args = parse_workload_ref(ref)
+    if name not in WORKLOADS:
+        raise UnknownWorkloadError(
+            f"unknown workload {ref!r}; "
+            f"registered: {', '.join(sorted(WORKLOADS))}"
+        )
+
+
+def resolve_workload(ref: Union[str, Workload]) -> Workload:
+    """Turn a workload reference into a :class:`Workload` instance.
+
+    Accepts an instance (passed through), a registered name, or a
+    parametric reference like ``"zipf(512,1.2)"``.  This is the single
+    entry point the driver, experiments and CLI use for their
+    ``workload`` params.
+    """
+    if isinstance(ref, Workload):
+        return ref
+    name, args = parse_workload_ref(ref)
+    return workload_by_name(name, *args)

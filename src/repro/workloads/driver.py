@@ -1,0 +1,303 @@
+"""WorkloadDriver: issue any workload through any built system.
+
+The driver closes the loop between the two declarative layers — a
+:class:`~repro.workloads.base.Workload` (traffic) and a
+:class:`~repro.system.topology.Topology` (shape).  It builds the
+topology through the :class:`~repro.system.builder.SystemBuilder` and
+dispatches the op stream by what the built system exposes:
+
+* **LSU mode** — topologies with ``lsu`` nodes (microbench, fan-outs,
+  anything JSON-loaded with a load/store unit): each stream becomes a
+  serialized issue chain on its round-robin LSU, ops flow through the
+  DCOH/HMC/LLC path under the discrete-event core, and the measurement
+  reports per-stream latency medians and bandwidth.
+* **Supernode mode** — topologies with a ``supernode.fabric`` node:
+  streams map round-robin onto the per-host systems built by
+  ``make_supernode_host``, reads/writes become shared/exclusive
+  coherent accesses through the two-level coherence domain, and the
+  measurement reports per-host fabric traffic and filter rates.
+
+Measurements are deterministic: the same workload + seed + topology +
+config produce a bit-identical :class:`WorkloadMeasurement`, which is
+what makes trace record → replay reproduce a run exactly.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.config.system import SystemConfig
+from repro.system import SystemBuilder, Topology, resolve_topology
+from repro.workloads.base import Workload, WorkloadOp, resolve_workload
+
+#: Streams rebase into the host map at this address — one shared base
+#: (not per-stream), so ops that alias in workload space alias in the
+#: system too (producer/consumer sharing relies on this).
+WINDOW_BASE = 0x20_0000
+
+
+class WorkloadDriverError(ValueError):
+    """The target system exposes nothing the driver can issue through."""
+
+
+@dataclass
+class WorkloadMeasurement:
+    """Deterministic outcome of driving one workload through one system."""
+
+    workload: str
+    topology: str
+    mode: str  # "lsu" | "supernode"
+    seed: int
+    ops: int
+    reads: int
+    writes: int
+    series: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form; equality of two dicts is measurement parity."""
+        return {
+            "workload": self.workload,
+            "topology": self.topology,
+            "mode": self.mode,
+            "seed": self.seed,
+            "ops": self.ops,
+            "reads": self.reads,
+            "writes": self.writes,
+            "series": {k: dict(v) for k, v in self.series.items()},
+        }
+
+    def render(self) -> str:
+        """Human-readable table used by ``repro workload replay``."""
+        from repro.harness.tables import render_series
+
+        title = (
+            f"workload {self.workload} on {self.topology} ({self.mode} mode, "
+            f"seed {self.seed}): {self.ops} ops "
+            f"({self.reads} reads / {self.writes} writes)"
+        )
+        return render_series(
+            "host" if self.mode == "supernode" else "stream",
+            self.series,
+            title=title,
+            fmt="{:.3f}",
+        )
+
+
+class WorkloadDriver:
+    """Drive workloads through :class:`SystemBuilder`-constructed systems."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+
+    def run(
+        self,
+        workload: Union[str, Workload],
+        topology: Union[str, Topology, Dict[str, object]] = "microbench",
+        seed: int = 1234,
+        streams: Optional[int] = None,
+    ) -> WorkloadMeasurement:
+        """Expand ``workload`` under ``seed`` and issue it through ``topology``.
+
+        ``streams`` re-stripes a *single-stream* workload round-robin
+        across that many issue chains (so e.g. ``zipf`` can load every
+        LSU of a fan-out); workloads that already declare multiple
+        streams (producer/consumer sharing) keep their own mapping.
+        """
+        resolved_workload = resolve_workload(workload)
+        ops = resolved_workload.ops(seed)
+        if streams is not None and streams > 1 and all(
+            op.stream == 0 for op in ops
+        ):
+            ops = [
+                WorkloadOp(op.kind, op.addr, op.size, op.delay_ps, i % streams)
+                for i, op in enumerate(ops)
+            ]
+        resolved_topology = resolve_topology(topology)
+        system = SystemBuilder(self.config).build(resolved_topology)
+        if resolved_topology.by_kind("supernode.fabric"):
+            series = self._drive_supernode(system, resolved_topology, ops)
+            mode = "supernode"
+        elif resolved_topology.by_kind("lsu"):
+            series = self._drive_lsus(system, resolved_topology, ops)
+            mode = "lsu"
+        else:
+            kinds = sorted({spec.kind for spec in resolved_topology.nodes})
+            raise WorkloadDriverError(
+                f"topology {resolved_topology.name!r} exposes no 'lsu' or "
+                f"'supernode.fabric' node to drive a workload through "
+                f"(kinds present: {', '.join(kinds)})"
+            )
+        return WorkloadMeasurement(
+            workload=resolved_workload.name,
+            topology=resolved_topology.name,
+            mode=mode,
+            seed=seed,
+            ops=len(ops),
+            reads=sum(1 for op in ops if op.kind == "read"),
+            writes=sum(1 for op in ops if op.kind == "write"),
+            series=series,
+        )
+
+    # ------------------------------------------------------------------
+    # LSU mode
+    # ------------------------------------------------------------------
+    def _drive_lsus(
+        self, system, topology: Topology, ops: List[WorkloadOp]
+    ) -> Dict[str, Dict[str, float]]:
+        lsus = [system.node(spec.name) for spec in topology.by_kind("lsu")]
+        chains: Dict[int, List[WorkloadOp]] = {}
+        for op in ops:
+            chains.setdefault(op.stream, []).append(op)
+
+        stats: Dict[int, Dict[str, object]] = {}
+        for stream in sorted(chains):
+            lsu = lsus[stream % len(lsus)]
+            stats[stream] = self._issue_chain(lsu, chains[stream])
+        system.sim.run()
+
+        series: Dict[str, Dict[str, float]] = {
+            "ops": {},
+            "lat_median_ns": {},
+            "bandwidth_gbps": {},
+        }
+        all_latencies: List[int] = []
+        total_bytes = 0
+        first = None
+        last = 0
+        for stream, state in sorted(stats.items()):
+            key = f"s{stream}"
+            latencies = state["latencies"]
+            series["ops"][key] = float(len(latencies))
+            series["lat_median_ns"][key] = (
+                statistics.median(latencies) / 1_000 if latencies else 0.0
+            )
+            elapsed = state["last_done_ps"] - state["first_issue_ps"]
+            series["bandwidth_gbps"][key] = (
+                state["bytes"] / elapsed * 1_000 if elapsed > 0 else 0.0
+            )
+            all_latencies.extend(latencies)
+            total_bytes += state["bytes"]
+            if state["latencies"]:
+                first = (
+                    state["first_issue_ps"]
+                    if first is None
+                    else min(first, state["first_issue_ps"])
+                )
+                last = max(last, state["last_done_ps"])
+        span = (last - first) if first is not None else 0
+        series["ops"]["all"] = float(len(all_latencies))
+        series["lat_median_ns"]["all"] = (
+            statistics.median(all_latencies) / 1_000 if all_latencies else 0.0
+        )
+        series["bandwidth_gbps"]["all"] = (
+            total_bytes / span * 1_000 if span > 0 else 0.0
+        )
+        return series
+
+    @staticmethod
+    def _issue_chain(lsu, ops: List[WorkloadOp]) -> Dict[str, object]:
+        """Serialized issue chain for one stream on one LSU.
+
+        Each op waits its ``delay_ps`` think time after the previous
+        completion, then pays the LSU issue/complete stages around the
+        DCOH access — the per-op latency excludes the think time.
+        Several chains coexist on one simulator (and even one LSU), so
+        nothing here drains the engine.
+        """
+        profile = lsu.profile
+        issue_ps = profile.cycles_ps(profile.lsu_issue_cycles)
+        complete_ps = profile.cycles_ps(profile.lsu_complete_cycles)
+        state: Dict[str, object] = {
+            "latencies": [],
+            "bytes": 0,
+            "first_issue_ps": -1,
+            "last_done_ps": 0,
+            "index": 0,
+            "issued_ps": 0,
+        }
+
+        def issue_next() -> None:
+            if state["index"] >= len(ops):
+                return
+            op = ops[state["index"]]
+            state["index"] += 1
+
+            def start() -> None:
+                state["issued_ps"] = lsu.sim.now
+                if state["first_issue_ps"] < 0:
+                    state["first_issue_ps"] = lsu.sim.now
+                if op.kind == "write":
+                    lsu.schedule(issue_ps, lsu.dcoh.write, WINDOW_BASE + op.addr, done)
+                else:
+                    lsu.schedule(issue_ps, lsu.dcoh.read, WINDOW_BASE + op.addr, done)
+
+            def done(_result) -> None:
+                lsu.schedule(complete_ps, finish)
+
+            def finish() -> None:
+                state["latencies"].append(lsu.sim.now - state["issued_ps"])
+                state["bytes"] += op.size
+                state["last_done_ps"] = lsu.sim.now
+                issue_next()
+
+            lsu.schedule(op.delay_ps, start)
+
+        issue_next()
+        return state
+
+    # ------------------------------------------------------------------
+    # Supernode mode
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _drive_supernode(
+        system, topology: Topology, ops: List[WorkloadOp]
+    ) -> Dict[str, Dict[str, float]]:
+        fabric_name = topology.by_kind("supernode.fabric")[0].name
+        supernode = system.node(fabric_name)
+        hosts = sorted(supernode.hosts)
+        per_host: Dict[str, Dict[str, float]] = {
+            host: {"accesses": 0.0, "latency_ps": 0.0} for host in hosts
+        }
+        for op in ops:
+            host = hosts[op.stream % len(hosts)]
+            latency = supernode.coherent_access(
+                host, WINDOW_BASE + op.addr, exclusive=op.kind == "write"
+            )
+            per_host[host]["accesses"] += 1.0
+            per_host[host]["latency_ps"] += float(latency)
+
+        series: Dict[str, Dict[str, float]] = {
+            "accesses": {},
+            "remote_accesses": {},
+            "fabric_latency_us": {},
+            "filter_rate": {},
+        }
+        for host in hosts:
+            entry = supernode.hosts[host]
+            agent = supernode.domain.locals[supernode._child_of[host]]
+            series["accesses"][host] = per_host[host]["accesses"]
+            series["remote_accesses"][host] = float(entry.remote_accesses)
+            series["fabric_latency_us"][host] = per_host[host]["latency_ps"] / 1e6
+            series["filter_rate"][host] = agent.filter_rate
+        series["accesses"]["all"] = float(len(ops))
+        series["remote_accesses"]["all"] = float(
+            sum(supernode.hosts[h].remote_accesses for h in hosts)
+        )
+        series["fabric_latency_us"]["all"] = (
+            sum(per_host[h]["latency_ps"] for h in hosts) / 1e6
+        )
+        total_local = sum(
+            supernode.domain.locals[supernode._child_of[h]].local_hits for h in hosts
+        )
+        total_global = sum(
+            supernode.domain.locals[supernode._child_of[h]].global_requests
+            for h in hosts
+        )
+        series["filter_rate"]["all"] = (
+            total_local / (total_local + total_global)
+            if (total_local + total_global)
+            else 0.0
+        )
+        return series

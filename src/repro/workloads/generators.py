@@ -1,0 +1,248 @@
+"""Synthetic traffic generators: the built-in workload library.
+
+Each factory registers in :data:`~repro.workloads.base.WORKLOADS` and
+returns a :class:`~repro.workloads.base.Workload` whose stream is fully
+determined by the expansion seed.  Address arguments are in cache
+lines (the driver rebases whole streams, so generators only encode
+*relative* locality); counts are total operations, so experiment wall
+time scales linearly with the first knob of every factory.
+
+``phases([...])`` composes any workloads into one mixed-behavior
+stream: phase ``i`` expands under a seed derived from the base seed and
+its position, then streams are concatenated in order — a warm-up scan
+followed by skewed random traffic followed by a sharing storm is one
+registry entry, not a new harness.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Iterable, List, Sequence, Union
+
+from repro.mem.address import CACHELINE
+from repro.workloads.base import (
+    Workload,
+    WorkloadOp,
+    register_workload,
+    resolve_workload,
+)
+
+#: Generators keep their footprints inside this many lines unless a
+#: knob says otherwise, so every built-in workload fits one HMC/LLC-ish
+#: working set and two workloads with distinct bases never alias.
+DEFAULT_FOOTPRINT_LINES = 4096
+
+
+def _line(index: int) -> int:
+    return index * CACHELINE
+
+
+@register_workload("sequential")
+def sequential(count: Union[int, float] = 256, stride: Union[int, float] = 1) -> Workload:
+    """Sequential/strided read stream (stride in cache lines)."""
+    count, stride = int(count), int(stride)
+    if count < 1 or stride < 1:
+        raise ValueError("sequential(count, stride) needs count >= 1, stride >= 1")
+
+    def generate(_rng: random.Random) -> Iterable[WorkloadOp]:
+        return [
+            WorkloadOp("read", _line(i * stride)) for i in range(count)
+        ]
+
+    return Workload(
+        name=f"sequential({count},{stride})" if stride != 1 else f"sequential({count})",
+        description=sequential.__doc__.splitlines()[0],
+        params={"count": count, "stride": stride},
+        generate=generate,
+    )
+
+
+@register_workload("uniform")
+def uniform(
+    count: Union[int, float] = 256, lines: Union[int, float] = DEFAULT_FOOTPRINT_LINES
+) -> Workload:
+    """Uniform random reads over a fixed working set."""
+    count, lines = int(count), int(lines)
+    if count < 1 or lines < 1:
+        raise ValueError("uniform(count, lines) needs count >= 1, lines >= 1")
+
+    def generate(rng: random.Random) -> Iterable[WorkloadOp]:
+        return [
+            WorkloadOp("read", _line(rng.randrange(lines))) for _ in range(count)
+        ]
+
+    return Workload(
+        name=f"uniform({count},{lines})",
+        description=uniform.__doc__.splitlines()[0],
+        params={"count": count, "lines": lines},
+        generate=generate,
+    )
+
+
+@register_workload("zipf")
+def zipf(
+    count: Union[int, float] = 256,
+    alpha: Union[int, float] = 1.2,
+    lines: Union[int, float] = DEFAULT_FOOTPRINT_LINES,
+) -> Workload:
+    """Zipf-skewed random reads (rank-``alpha`` popularity over the set)."""
+    count, alpha, lines = int(count), float(alpha), int(lines)
+    if count < 1 or lines < 1 or alpha <= 0:
+        raise ValueError("zipf(count, alpha, lines) needs positive knobs")
+
+    # Precompute the rank CDF once per expansion; the stream itself only
+    # draws uniforms, so the cost stays O(lines + count).
+    def generate(rng: random.Random) -> Iterable[WorkloadOp]:
+        weights = [1.0 / (rank + 1) ** alpha for rank in range(lines)]
+        total = sum(weights)
+        cdf: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cdf.append(acc)
+        ops = []
+        for _ in range(count):
+            rank = bisect.bisect_left(cdf, rng.random())
+            ops.append(WorkloadOp("read", _line(min(rank, lines - 1))))
+        return ops
+
+    return Workload(
+        name=f"zipf({count},{alpha:g})",
+        description=zipf.__doc__.splitlines()[0],
+        params={"count": count, "alpha": alpha, "lines": lines},
+        generate=generate,
+    )
+
+
+@register_workload("pointer-chase")
+def pointer_chase(
+    count: Union[int, float] = 256, lines: Union[int, float] = 512
+) -> Workload:
+    """Pointer chase: a random permutation cycle walked dependently."""
+    count, lines = int(count), int(lines)
+    if count < 1 or lines < 2:
+        raise ValueError("pointer-chase(count, lines) needs count >= 1, lines >= 2")
+
+    def generate(rng: random.Random) -> Iterable[WorkloadOp]:
+        order = list(range(lines))
+        rng.shuffle(order)
+        next_of = {order[i]: order[(i + 1) % lines] for i in range(lines)}
+        ops = []
+        node = order[0]
+        for _ in range(count):
+            ops.append(WorkloadOp("read", _line(node)))
+            node = next_of[node]
+        return ops
+
+    return Workload(
+        name=f"pointer-chase({count},{lines})",
+        description=pointer_chase.__doc__.splitlines()[0],
+        params={"count": count, "lines": lines},
+        generate=generate,
+    )
+
+
+@register_workload("producer-consumer")
+def producer_consumer(
+    count: Union[int, float] = 128, lines: Union[int, float] = 64
+) -> Workload:
+    """Producer/consumer sharing: stream 0 writes lines stream 1 reads."""
+    count, lines = int(count), int(lines)
+    if count < 1 or lines < 1:
+        raise ValueError("producer-consumer(count, lines) needs positive knobs")
+
+    def generate(_rng: random.Random) -> Iterable[WorkloadOp]:
+        ops = []
+        for i in range(count):
+            addr = _line(i % lines)
+            ops.append(WorkloadOp("write", addr, stream=0))
+            ops.append(WorkloadOp("read", addr, stream=1))
+        return ops
+
+    return Workload(
+        name=f"producer-consumer({count},{lines})",
+        description=producer_consumer.__doc__.splitlines()[0],
+        params={"count": count, "lines": lines},
+        generate=generate,
+    )
+
+
+@register_workload("rw-mix")
+def rw_mix(
+    count: Union[int, float] = 256,
+    read_fraction: Union[int, float] = 0.7,
+    lines: Union[int, float] = DEFAULT_FOOTPRINT_LINES,
+) -> Workload:
+    """Read/write mix at a given read fraction over a random working set."""
+    count, read_fraction, lines = int(count), float(read_fraction), int(lines)
+    if count < 1 or lines < 1 or not 0.0 <= read_fraction <= 1.0:
+        raise ValueError(
+            "rw-mix(count, read_fraction, lines) needs count/lines >= 1 "
+            "and read_fraction in [0, 1]"
+        )
+
+    def generate(rng: random.Random) -> Iterable[WorkloadOp]:
+        return [
+            WorkloadOp(
+                "read" if rng.random() < read_fraction else "write",
+                _line(rng.randrange(lines)),
+            )
+            for _ in range(count)
+        ]
+
+    return Workload(
+        name=f"rw-mix({count},{read_fraction:g})",
+        description=rw_mix.__doc__.splitlines()[0],
+        params={"count": count, "read_fraction": read_fraction, "lines": lines},
+        generate=generate,
+    )
+
+
+# ---------------------------------------------------------------------
+# Phase composition
+# ---------------------------------------------------------------------
+def phases(parts: Sequence[Union[str, Workload]], name: str = "") -> Workload:
+    """Compose workloads into one mixed-behavior stream, run in order.
+
+    Each part may be a :class:`Workload` or a reference string; phase
+    ``i`` expands under ``seed + i`` (derived, so the composition is as
+    deterministic as its parts) and the streams concatenate.  Stream
+    ids pass through untouched — a two-stream sharing phase stays
+    two-stream inside a composition.
+    """
+    if not parts:
+        raise ValueError("phases([...]) needs at least one workload")
+    resolved = [resolve_workload(part) for part in parts]
+    label = name or "phases(" + "+".join(w.name for w in resolved) + ")"
+
+    def generate(rng: random.Random) -> Iterable[WorkloadOp]:
+        # Derive one sub-seed per phase from the composition's rng so
+        # the whole stream is a pure function of the expansion seed.
+        ops: List[WorkloadOp] = []
+        for part in resolved:
+            ops.extend(part.ops(seed=rng.randrange(2**31)))
+        return ops
+
+    return Workload(
+        name=label,
+        description="phase composition: " + " then ".join(w.name for w in resolved),
+        params={"phases": [w.name for w in resolved]},
+        generate=generate,
+    )
+
+
+@register_workload("mixed")
+def mixed(count: Union[int, float] = 128) -> Workload:
+    """Phase-composed mix: sequential warm-up, Zipf reads, r/w storm."""
+    count = int(count)
+    if count < 1:
+        raise ValueError("mixed(count) needs count >= 1")
+    return phases(
+        [
+            sequential(count),
+            zipf(count, 1.2, max(count, 2)),
+            rw_mix(count, 0.5, max(count // 2, 1)),
+        ],
+        name=f"mixed({count})",
+    )

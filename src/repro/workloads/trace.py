@@ -1,0 +1,156 @@
+"""Compact workload traces: JSONL record and bit-identical replay.
+
+A trace file captures one expanded workload stream so any run can be
+re-driven without the generator that produced it:
+
+* line 1 — a JSON header object (``schema``, source ``workload`` name,
+  expansion ``seed``, op count);
+* every further line — one op as a compact 5-element JSON array
+  ``[kind, addr, size, delay_ps, stream]``.
+
+:func:`load_trace` returns a :class:`~repro.workloads.base.Workload`
+whose stream *is* the recorded op list, so replaying a trace through
+the :class:`~repro.workloads.driver.WorkloadDriver` reproduces the
+original run's measurements bit-identically — the ops, not the
+generator, are what the driver consumes.  Malformed files always raise
+:class:`~repro.workloads.base.WorkloadSchemaError` naming the file and
+line, mirroring the topology JSON loader's contract.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.workloads.base import Workload, WorkloadOp, WorkloadSchemaError
+
+TRACE_SCHEMA = 1
+
+_HEADER_KEYS = frozenset({"schema", "workload", "seed", "ops"})
+
+
+def op_to_list(op: WorkloadOp) -> List[object]:
+    """One op as the compact JSONL array form; inverse of :func:`op_from_list`."""
+    return [op.kind, op.addr, op.size, op.delay_ps, op.stream]
+
+
+def op_from_list(data: object) -> WorkloadOp:
+    """Parse one compact op array, schema-validating every field."""
+    if not isinstance(data, Sequence) or isinstance(data, (str, bytes)):
+        raise WorkloadSchemaError(
+            f"trace op must be a 5-element array, got {data!r}"
+        )
+    if len(data) != 5:
+        raise WorkloadSchemaError(
+            f"trace op must have exactly 5 elements "
+            f"[kind, addr, size, delay_ps, stream], got {len(data)}"
+        )
+    kind, addr, size, delay_ps, stream = data
+    if not isinstance(kind, str):
+        raise WorkloadSchemaError(f"trace op kind must be a string, got {kind!r}")
+    # WorkloadOp.__post_init__ validates kinds and integer ranges.
+    return WorkloadOp(kind, addr, size, delay_ps, stream)
+
+
+def dump_trace(
+    workload: Workload,
+    seed: int = 1234,
+    path: Optional[Union[str, Path]] = None,
+) -> str:
+    """Expand ``workload`` under ``seed`` and render the trace text.
+
+    Writes to ``path`` when given; always returns the JSONL text.  The
+    output round-trips through :func:`load_trace` bit-identically.
+    """
+    ops = workload.ops(seed)
+    header: Dict[str, object] = {
+        "schema": TRACE_SCHEMA,
+        "workload": workload.name,
+        "seed": seed,
+        "ops": len(ops),
+    }
+    lines = [json.dumps(header, sort_keys=True)]
+    lines.extend(
+        json.dumps(op_to_list(op), separators=(",", ":")) for op in ops
+    )
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def parse_trace(text: str, source: str = "<trace>") -> Workload:
+    """Parse JSONL trace text into a replayable :class:`Workload`."""
+
+    def fail(line_no: int, msg: str) -> None:
+        raise WorkloadSchemaError(f"{source}:{line_no}: {msg}")
+
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise WorkloadSchemaError(f"{source}: empty trace (no header line)")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise WorkloadSchemaError(f"{source}:1: invalid JSON header: {exc}") from None
+    if not isinstance(header, dict):
+        fail(1, f"trace header must be a JSON object, got {header!r}")
+    unknown = sorted(set(header) - _HEADER_KEYS)
+    if unknown:
+        fail(
+            1,
+            f"trace header has unknown key(s) {', '.join(map(repr, unknown))}; "
+            f"valid keys: {', '.join(sorted(_HEADER_KEYS))}",
+        )
+    schema = header.get("schema")
+    if schema != TRACE_SCHEMA:
+        fail(1, f"unsupported trace schema {schema!r} (expected {TRACE_SCHEMA})")
+    name = header.get("workload", "trace")
+    if not isinstance(name, str) or not name:
+        fail(1, f"trace header 'workload' must be a non-empty string, got {name!r}")
+    seed = header.get("seed", 0)
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        fail(1, f"trace header 'seed' must be an integer, got {seed!r}")
+    declared = header.get("ops")
+    if not isinstance(declared, int) or isinstance(declared, bool) or declared < 0:
+        fail(1, f"trace header 'ops' must be a non-negative integer, got {declared!r}")
+
+    ops: List[WorkloadOp] = []
+    for line_no, line in enumerate(lines[1:], start=2):
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise WorkloadSchemaError(
+                f"{source}:{line_no}: invalid JSON op: {exc}"
+            ) from None
+        try:
+            ops.append(op_from_list(data))
+        except WorkloadSchemaError as exc:
+            raise WorkloadSchemaError(f"{source}:{line_no}: {exc}") from None
+    if len(ops) != declared:
+        raise WorkloadSchemaError(
+            f"{source}: header declares {declared} ops but the trace "
+            f"holds {len(ops)}"
+        )
+
+    recorded = tuple(ops)
+    return Workload(
+        name=f"trace:{name}",
+        description=f"recorded trace of {name} (seed {seed}, {len(recorded)} ops)",
+        params={"workload": name, "seed": seed, "ops": len(recorded)},
+        generate=lambda _rng: list(recorded),
+    )
+
+
+def load_trace(path: Union[str, Path]) -> Workload:
+    """Load and validate a trace file into a replayable workload.
+
+    Unreadable files, invalid JSON, and schema violations all raise
+    :class:`WorkloadSchemaError` naming the file and line.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise WorkloadSchemaError(f"cannot read trace {path}: {exc}") from None
+    return parse_trace(text, source=str(path))

@@ -60,6 +60,8 @@ def test_registry_covers_every_figure_and_table():
         "fig16", "fig17", "fig18a", "fig18b", "headline", "mape",
         # multi-device topology scenarios (repro.harness.topology_experiments)
         "fanout2", "fanout4", "topo-scale",
+        # workload-driven scenarios (repro.harness.workload_experiments)
+        "workload-mix", "supernode-workload",
     }
     assert set(EXPERIMENTS) == expected
 

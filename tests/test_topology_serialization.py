@@ -227,6 +227,218 @@ def test_resolve_topology_forwards_family_overrides():
     assert resolve_topology("supernode(3)").by_kind("supernode.host")
 
 
+# ------------------- multi-argument family refs -----------------------
+def test_parse_topology_ref_accepts_multi_arg_refs():
+    from repro.system import parse_topology_ref
+
+    assert parse_topology_ref("fanout(4)") == ("fanout", (4,))
+    assert parse_topology_ref("supernode(2, 536870912)") == (
+        "supernode", (2, 536870912),
+    )
+    assert parse_topology_ref("microbench") == ("microbench", None)
+
+
+@pytest.mark.parametrize("bad", ["fanout()", "fanout(x)", "fanout(1,)", "supernode(2, big)"])
+def test_malformed_family_refs_raise_schema_error(bad):
+    from repro.system import parse_topology_ref
+
+    with pytest.raises(TopologySchemaError):
+        parse_topology_ref(bad)
+
+
+def test_supernode_family_takes_hosts_and_granule():
+    topology = resolve_topology(
+        "supernode(3, 536870912)", fabric_memory_bytes=1 << 30
+    )
+    assert len(topology.by_kind("supernode.host")) == 3
+    fabric = topology.by_kind("supernode.fabric")[0]
+    assert fabric.params["memory_granule"] == 536870912
+    # The smaller granule carves finer leasable chunks from the pool.
+    system = SystemBuilder(fpga_system()).build(topology)
+    supernode = system.node("fabric")
+    assert supernode.free_fabric_bytes == 1 << 30
+    assert len(supernode.manager.holdings("host0")) == 0
+    supernode.lease_memory("host0", 1 << 20)
+    assert supernode.free_fabric_bytes == (1 << 30) - (512 << 20)
+
+
+def test_builder_rejects_over_granulated_fabric_pools():
+    from repro.system import TopologyConfigError
+
+    topology = resolve_topology("supernode(2, 268435456)")  # 16 granules
+    with pytest.raises(TopologyConfigError, match="root-switch ports"):
+        SystemBuilder(fpga_system()).build(topology)
+
+
+def test_root_ports_param_forwards_to_the_built_switch():
+    from repro.system.topology import NodeSpec, supernode_topology
+
+    base = supernode_topology(2, memory_granule=256 << 20)  # 16 granules
+    fabric = base.node("fabric")
+    widened = Topology(
+        base.name,
+        base.description,
+        nodes=tuple(
+            NodeSpec("fabric", "supernode.fabric",
+                     dict(fabric.params, root_ports=32))
+            if spec.name == "fabric" else spec
+            for spec in base.nodes
+        ),
+        links=base.links,
+    )
+    # Validation accepts the widened budget AND the build honors it.
+    system = SystemBuilder(fpga_system()).build(widened)
+    supernode = system.node("fabric")
+    assert len(supernode.fabric.switch("root").endpoints) == 16
+
+
+def test_non_integral_family_args_raise_schema_error():
+    with pytest.raises(TopologySchemaError, match="must be an integer"):
+        resolve_topology("fanout(1.5)")
+    with pytest.raises(TopologySchemaError, match="must be an integer"):
+        resolve_topology("supernode(2, 0.5)")
+
+
+# ------------------- inline specs as sweep values ---------------------
+def _inline_spec():
+    return topology_by_name("fanout-2").to_dict()
+
+
+def test_resolve_topology_accepts_inline_specs():
+    topology = resolve_topology(_inline_spec())
+    assert topology == topology_by_name("fanout-2")
+    with pytest.raises(TypeError):
+        resolve_topology(_inline_spec(), seed=7)
+
+
+def test_sweep_grids_accept_inline_topology_specs():
+    from repro.experiments.spec import SweepSpec
+
+    sweep = SweepSpec.from_dict(
+        {
+            "name": "inline",
+            "experiments": [
+                {
+                    "experiment": "topo-scale",
+                    "grid": {"topology": [_inline_spec(), "fanout(3)"]},
+                }
+            ],
+        }
+    )
+    sweep.validate()
+    specs = sweep.expand()
+    assert len(specs) == 2
+    # Inline specs content-hash like any other param value.
+    assert len({spec.spec_hash for spec in specs}) == 2
+
+
+def test_sweep_rejects_malformed_inline_topology_specs():
+    from repro.experiments.spec import SpecError, SweepSpec
+
+    bad = _inline_spec()
+    bad["links"].append({"a": "host", "b": "ghost"})
+    sweep = SweepSpec.from_dict(
+        {
+            "name": "inline-bad",
+            "experiments": [
+                {"experiment": "topo-scale", "grid": {"topology": [bad]}}
+            ],
+        }
+    )
+    with pytest.raises(SpecError, match="ghost"):
+        sweep.validate()
+
+
+def test_topology_scaling_runs_an_inline_spec():
+    from repro.harness.topology_experiments import topology_scaling
+
+    inline = topology_scaling(topology=_inline_spec(), count=2, trials=1, bw_count=16)
+    named = topology_scaling(topology="fanout-2", count=2, trials=1, bw_count=16)
+    assert inline.series == named.series
+
+
+# ------------------- pre-build config validation ----------------------
+def test_builder_rejects_over_budget_ports():
+    from repro.system import TopologyConfigError
+    from repro.system.topology import LinkSpec, NodeSpec
+
+    nodes = [NodeSpec("host", "host")]
+    links = []
+    for i in range(17):  # host budgets 16 flexbus/PCIe ports
+        nodes.append(NodeSpec(f"dev{i}", "cxl.type1"))
+        links.append(LinkSpec(f"dev{i}", "host", "cxl.flexbus"))
+    topology = Topology("too-wide", nodes=tuple(nodes), links=tuple(links))
+    with pytest.raises(TopologyConfigError, match="16"):
+        SystemBuilder(fpga_system()).build(topology)
+
+
+def test_ports_param_widens_the_budget():
+    from repro.system.topology import LinkSpec, NodeSpec
+
+    nodes = [NodeSpec("host", "host", {"ports": 32})]
+    links = []
+    for i in range(17):
+        nodes.append(NodeSpec(f"dev{i}", "cxl.type1"))
+        links.append(LinkSpec(f"dev{i}", "host", "cxl.flexbus"))
+    topology = Topology("wide-ok", nodes=tuple(nodes), links=tuple(links))
+    system = SystemBuilder(fpga_system()).build(topology)
+    assert len(system.nodes) == 18
+
+
+def test_builder_rejects_hdm_overflow_and_lists_every_problem():
+    from repro.system import TopologyConfigError, hdm_capacity_bytes
+    from repro.system.topology import LinkSpec, NodeSpec
+
+    config = fpga_system()
+    capacity = hdm_capacity_bytes(config)
+    topology = Topology(
+        "hdm-hungry",
+        nodes=(
+            NodeSpec("host", "host"),
+            NodeSpec("xpu0", "cxl.type2", {"hdm_bytes": capacity}),
+            NodeSpec("xpu1", "cxl.type2", {"hdm_bytes": capacity}),
+            NodeSpec("bad", "cxl.type3", {"hdm_bytes": 0}),
+        ),
+        links=(
+            LinkSpec("xpu0", "host"),
+            LinkSpec("xpu1", "host"),
+            LinkSpec("bad", "host"),
+        ),
+    )
+    with pytest.raises(TopologyConfigError) as err:
+        SystemBuilder(config).build(topology)
+    message = str(err.value)
+    assert "exceeds the host's decode capacity" in message
+    assert "positive hdm_bytes" in message  # both violations listed at once
+
+
+def test_builder_rejects_bad_fabric_granules():
+    from repro.system import TopologyConfigError
+    from repro.system.topology import NodeSpec
+
+    topology = Topology(
+        "bad-granule",
+        nodes=(
+            NodeSpec("host0", "supernode.host"),
+            NodeSpec(
+                "fabric",
+                "supernode.fabric",
+                {"fabric_memory_bytes": 1 << 30, "memory_granule": 2 << 30},
+            ),
+        ),
+    )
+    with pytest.raises(TopologyConfigError, match="memory_granule"):
+        SystemBuilder(fpga_system()).build(topology)
+
+
+def test_every_registered_topology_passes_config_validation():
+    from repro.system import validate_topology_config
+
+    for name in topology_names():
+        validate_topology_config(topology_by_name(name), fpga_system())
+        validate_topology_config(topology_by_name(name), asic_system())
+
+
 # ----------------------------- CLI ------------------------------------
 def test_cli_dump_validate_load_roundtrip(tmp_path):
     target = tmp_path / "fanout2.json"
