@@ -68,3 +68,12 @@ def test_raw_fast_path_schedule(benchmark):
 
     executed = benchmark.pedantic(drain, rounds=3, iterations=1)
     assert executed == 10_000
+
+
+def test_bench_result_store_quick():
+    """Sharded append + streaming aggregation stays correct at bench sizes."""
+    result = bench.bench_result_store(records=500)
+    assert result["records"] == 500
+    assert result["shards"] >= 1
+    assert result["distinct"] == 500 and result["ok"] == 500
+    assert result["appends_per_sec"] > 0

@@ -231,6 +231,46 @@ def bench_workload_gen(ops: int = 100_000, seed: int = 17) -> Dict[str, Any]:
     return result
 
 
+def bench_result_store(records: int = 20_000) -> Dict[str, Any]:
+    """Sharded store throughput: locked appends, then streaming reads.
+
+    Appends ``records`` small results through the per-shard-locked
+    write path with a small roll-over cap (so several shards exist),
+    then aggregates with ``ok_hashes()`` (index fast path) and
+    ``latest()`` (streaming record scan) — the exact paths a
+    million-point sweep leans on.
+    """
+    from repro.experiments.store import ResultStore, StoredResult
+
+    def run() -> Dict[str, Any]:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            store = ResultStore(tmp, shard_max_bytes=256 * 1024)
+            append_start = time.perf_counter()
+            for i in range(records):
+                store.append(StoredResult(
+                    spec_hash=f"h{i % 1000:05d}", experiment="bench",
+                    params={}, repeat=0, seed=i, status="ok",
+                    series={"v": float(i)},
+                ))
+            append_s = time.perf_counter() - append_start
+            scan_start = time.perf_counter()
+            distinct = len(store.latest())
+            ok = len(store.ok_hashes())
+            scan_s = time.perf_counter() - scan_start
+            shards = len(store.shard_paths())
+        return {
+            "records": records,
+            "shards": shards,
+            "distinct": distinct,
+            "ok": ok,
+            "append_s": round(append_s, 6),
+            "scan_s": round(scan_s, 6),
+            "appends_per_sec": round(records / max(append_s, 1e-9)),
+        }
+
+    return _timed(run)
+
+
 def bench_sweep(jobs: int = 1) -> Dict[str, Any]:
     """The ``quick`` sweep preset end-to-end (the acceptance workload).
 
@@ -292,6 +332,12 @@ def run_bench(quick: bool = False, progress: Progress = None) -> Dict[str, Any]:
     workloads["workload_gen"] = bench_workload_gen(ops=int(100_000 * scale) or 1)
     note(f"workload_gen: {workloads['workload_gen']['ops_per_sec']:,} ops/s")
 
+    note("result_store ...")
+    workloads["result_store"] = bench_result_store(
+        records=int(20_000 * scale) or 1
+    )
+    note(f"result_store: {workloads['result_store']['appends_per_sec']:,} appends/s")
+
     note("sweep_quick ...")
     workloads["sweep_quick"] = bench_sweep()
     note(f"sweep_quick: {workloads['sweep_quick']['wall_s']:.3f}s")
@@ -332,6 +378,8 @@ def render(payload: Dict[str, Any]) -> str:
             throughput = f"{w['builds_per_sec']:,} builds/s"
         elif "loads_per_sec" in w:
             throughput = f"{w['loads_per_sec']:,} loads/s"
+        elif "appends_per_sec" in w:
+            throughput = f"{w['appends_per_sec']:,} appends/s"
         else:
             throughput = "-"
         lines.append(f"{name:<16} {w['wall_s']:>10.3f} {throughput:>20}")

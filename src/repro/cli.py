@@ -19,6 +19,8 @@ Usage::
     python -m repro sweep --preset quick --jobs 4
     python -m repro sweep topology-scale --jobs 2
     python -m repro sweep my_sweep.json --out runs/mine
+    python -m repro sweep --preset quick --backend queue --jobs 2
+    python -m repro worker runs/quick
     python -m repro report runs/quick
     python -m repro compare runs/a runs/b
     python -m repro bench --quick
@@ -263,6 +265,7 @@ def _cmd_sweep(args: argparse.Namespace, out: IO[str]) -> int:
         preset_sweep,
         run_sweep,
     )
+    from repro.experiments.exec import LockHeldError
 
     if bool(args.spec) == bool(args.preset):
         out.write("sweep needs exactly one of: a spec file, or --preset NAME\n")
@@ -295,16 +298,43 @@ def _cmd_sweep(args: argparse.Namespace, out: IO[str]) -> int:
             jobs=args.jobs,
             force=args.force,
             progress=lambda line: out.write(line + "\n"),
+            backend=args.backend,
         )
-    except SpecError as exc:
+    except (SpecError, LockHeldError) as exc:
         out.write(f"{exc}\n")
         return 2
     out.write(
-        f"sweep {sweep.name!r}: {outcome.total} specs — "
+        f"sweep {sweep.name!r} [{outcome.backend}]: {outcome.total} specs — "
         f"{len(outcome.executed) - len(outcome.failed)} ran ok, "
         f"{outcome.cached} cached, {len(outcome.failed)} failed\n"
     )
     out.write(f"results: {outcome.out_dir}\n")
+    return 1 if outcome.failed else 0
+
+
+def _cmd_worker(args: argparse.Namespace, out: IO[str]) -> int:
+    from repro.experiments import QueueError, run_worker
+
+    try:
+        outcome = run_worker(
+            args.run_dir,
+            worker_id=args.worker_id,
+            poll_s=args.poll_s,
+            wait_s=args.wait_s,
+            max_specs=args.max_specs,
+            progress=lambda line: out.write(line + "\n"),
+        )
+    except QueueError as exc:
+        out.write(f"{exc}\n")
+        out.write(
+            "start the scheduler first: repro sweep ... --backend queue "
+            f"--out {args.run_dir} (or raise --wait-s)\n"
+        )
+        return 2
+    out.write(
+        f"worker {outcome.worker_id}: {len(outcome.executed)} specs "
+        f"({len(outcome.failed)} failed, {outcome.retried} retried)\n"
+    )
     return 1 if outcome.failed else 0
 
 
@@ -445,6 +475,35 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--force", action="store_true", help="re-run specs even when cached"
     )
+    sweep.add_argument(
+        "--backend", choices=["serial", "pool", "queue"], default=None,
+        help="executor backend (default: pool; 'queue' writes a durable "
+        "work queue that 'repro worker' processes can join)",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="join a queue-backend sweep: lease specs from a run "
+        "directory's work queue until it drains",
+    )
+    worker.add_argument(
+        "run_dir", help="run directory of a sweep started with --backend queue"
+    )
+    worker.add_argument(
+        "--worker-id", help="lease owner label (default: <host>-<pid>)"
+    )
+    worker.add_argument(
+        "--max-specs", type=int, default=None,
+        help="execute at most N specs before exiting",
+    )
+    worker.add_argument(
+        "--poll-s", type=float, default=0.2,
+        help="idle poll interval while waiting for claimable specs",
+    )
+    worker.add_argument(
+        "--wait-s", type=float, default=10.0,
+        help="how long to wait for the scheduler to create the queue",
+    )
 
     report = sub.add_parser("report", help="summarise a stored sweep run")
     report.add_argument("run_dir", help="run directory written by 'sweep'")
@@ -476,6 +535,7 @@ _COMMANDS = {
     "topology": _cmd_topology,
     "workload": _cmd_workload,
     "sweep": _cmd_sweep,
+    "worker": _cmd_worker,
     "report": _cmd_report,
     "compare": _cmd_compare,
     "bench": _cmd_bench,

@@ -1,33 +1,51 @@
-"""Experiment orchestration: declarative sweeps, parallel execution,
+"""Experiment orchestration: declarative sweeps, distributed execution,
 persistent results, and report generation.
 
 Layers (each its own module):
 
 * :mod:`repro.experiments.spec` — ``ExperimentSpec``/``SweepSpec``
   declarative descriptions with grid expansion and content hashing.
-* :mod:`repro.experiments.runner` — multiprocessing sweep executor
-  with per-spec seeding, failure isolation, and a result cache.
-* :mod:`repro.experiments.store` — JSONL-backed ``ResultStore``
-  persisting every result with spec hash, wall time, git metadata.
+* :mod:`repro.experiments.runner` — the sweep scheduler: expansion,
+  result cache, per-spec seeding, and dispatch to an executor backend.
+* :mod:`repro.experiments.exec` — the distributed execution subsystem:
+  advisory locks, the durable work queue, the worker loop behind
+  ``repro worker``, and the ``serial``/``pool``/``queue`` backends.
+* :mod:`repro.experiments.store` — sharded JSONL ``ResultStore``
+  persisting every result with spec hash, wall time, git metadata,
+  and per-shard indexes for streaming aggregation.
 * :mod:`repro.experiments.report` — lazily-computed ``RunReport``
   (per-experiment MAPE, markdown summaries) and run-vs-run deltas.
 * :mod:`repro.experiments.presets` — built-in sweeps (``quick``,
   ``paper``).
 
-The CLI exposes the subsystem as ``repro sweep``, ``repro report``,
-and ``repro compare``.
+The CLI exposes the subsystem as ``repro sweep``, ``repro worker``,
+``repro report``, and ``repro compare``.
 """
 
 from repro.experiments.presets import PRESETS, preset_sweep
 from repro.experiments.report import RunReport, compare_runs
-from repro.experiments.runner import SweepOutcome, run_sweep
+from repro.experiments.runner import SweepOutcome, default_jobs, run_sweep
 from repro.experiments.spec import (
     ExperimentSpec,
     SpecError,
     SweepGroup,
     SweepSpec,
 )
-from repro.experiments.store import ResultStore, StoredResult
+from repro.experiments.store import (
+    LoadResult,
+    ResultStore,
+    StoreCorruptionWarning,
+    StoredResult,
+)
+from repro.experiments.exec import (
+    EXECUTORS,
+    QueueError,
+    UnknownExecutorError,
+    WorkQueue,
+    WorkerOutcome,
+    executor_by_name,
+    run_worker,
+)
 
 __all__ = [
     "PRESETS",
@@ -35,11 +53,21 @@ __all__ = [
     "RunReport",
     "compare_runs",
     "SweepOutcome",
+    "default_jobs",
     "run_sweep",
     "ExperimentSpec",
     "SpecError",
     "SweepGroup",
     "SweepSpec",
+    "LoadResult",
     "ResultStore",
+    "StoreCorruptionWarning",
     "StoredResult",
+    "EXECUTORS",
+    "QueueError",
+    "UnknownExecutorError",
+    "WorkQueue",
+    "WorkerOutcome",
+    "executor_by_name",
+    "run_worker",
 ]

@@ -1,0 +1,239 @@
+"""Pluggable executor backends behind one scheduling interface.
+
+A backend turns a list of pending spec payloads into a stream of
+persisted :class:`~repro.experiments.store.StoredResult`s.  The runner
+(:func:`repro.experiments.runner.run_sweep`) stays a thin scheduler: it
+expands/caches/accounts, then iterates whatever backend the caller
+picked.
+
+* ``serial`` — execute in the calling process, one spec at a time.
+* ``pool``   — today's fork pool: N processes, unordered completion,
+  results persisted as they land (the default).
+* ``queue``  — durable work queue in the run directory; N independent
+  worker processes (local children here, plus any ``repro worker``
+  joining over a shared filesystem) lease specs, heartbeat, and stream
+  records back.  Crash-safe: stale leases requeue, ``"error"`` specs
+  retry with bounded exponential backoff.
+
+Every backend yields records *after* they are durably appended to the
+run directory's store, so interrupting any backend mid-sweep keeps all
+completed specs cached.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Type
+
+from repro.experiments.exec.queue import QueueConfig, WorkQueue
+from repro.experiments.store import ResultStore, StoredResult
+
+Payload = Dict[str, object]
+
+
+class ExecutorError(RuntimeError):
+    """A backend lost every worker before the sweep drained."""
+
+
+class UnknownExecutorError(ValueError):
+    """Backend name not in the executor registry."""
+
+    def __init__(self, name: str):
+        super().__init__(
+            f"unknown executor backend {name!r}; "
+            f"options: {', '.join(sorted(EXECUTORS))}"
+        )
+
+
+@dataclass
+class ExecutionContext:
+    """Everything a backend needs from the scheduler."""
+
+    store: ResultStore
+    jobs: int
+    sweep: str
+    git: Dict[str, object] = field(default_factory=dict)
+
+    def make_record(self, raw: Payload) -> StoredResult:
+        return StoredResult(
+            timestamp=time.time(), sweep=self.sweep, **self.git, **raw
+        )
+
+
+class ExecutorBackend:
+    """Interface: drain ``payloads``, yielding records as they persist."""
+
+    name = "abstract"
+
+    def execute(
+        self, payloads: List[Payload], ctx: ExecutionContext
+    ) -> Iterator[StoredResult]:
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutorBackend):
+    """In-process execution — no workers, deterministic order."""
+
+    name = "serial"
+
+    def execute(
+        self, payloads: List[Payload], ctx: ExecutionContext
+    ) -> Iterator[StoredResult]:
+        from repro.experiments.runner import _execute_spec
+
+        for payload in payloads:
+            record = ctx.make_record(_execute_spec(payload))
+            ctx.store.append(record)
+            yield record
+
+
+class PoolBackend(ExecutorBackend):
+    """Fork-pool execution: ``jobs`` processes, unordered completion.
+
+    Falls back to the serial path when one worker (or one payload)
+    makes a pool pointless, preserving the historical ``jobs=1``
+    behaviour of running in the caller's process.
+    """
+
+    name = "pool"
+
+    def execute(
+        self, payloads: List[Payload], ctx: ExecutionContext
+    ) -> Iterator[StoredResult]:
+        from repro.experiments.runner import _execute_spec, _pool_context
+
+        if ctx.jobs <= 1 or len(payloads) <= 1:
+            yield from SerialBackend().execute(payloads, ctx)
+            return
+        pool = _pool_context().Pool(processes=min(ctx.jobs, len(payloads)))
+        try:
+            # Unordered: a slow head-of-line spec must not delay
+            # persisting specs that already finished behind it.
+            for raw in pool.imap_unordered(_execute_spec, payloads):
+                record = ctx.make_record(raw)
+                ctx.store.append(record)
+                yield record
+        except BaseException:
+            # Abort outstanding specs instead of draining a long sweep
+            # before the real error (or Ctrl-C) can surface.
+            pool.terminate()
+            raise
+        else:
+            pool.close()
+        finally:
+            pool.join()
+
+
+def _local_worker_entry(run_dir: str, worker_id: str) -> None:
+    """Child-process entry point (top-level so spawn can pickle it)."""
+    from repro.experiments.exec.worker import run_worker
+
+    run_worker(run_dir, worker_id=worker_id)
+
+
+class QueueBackend(ExecutorBackend):
+    """Durable-queue execution with leases, heartbeats, and retries.
+
+    The scheduler persists every pending payload under
+    ``<run-dir>/queue/``, spawns ``jobs`` local worker processes (zero
+    is valid: external ``repro worker`` processes then supply all the
+    labour), and streams records back as done markers land.  Stale
+    leases — crashed or wedged workers — are requeued continuously.
+    """
+
+    name = "queue"
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        backoff_s: float = 0.5,
+        lease_timeout_s: float = 30.0,
+        poll_s: float = 0.05,
+    ):
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+        self.lease_timeout_s = lease_timeout_s
+        self.poll_s = poll_s
+
+    def execute(
+        self, payloads: List[Payload], ctx: ExecutionContext
+    ) -> Iterator[StoredResult]:
+        from repro.experiments.runner import _pool_context
+
+        queue = WorkQueue(ctx.store.root)
+        queue.create(
+            payloads,
+            QueueConfig(
+                sweep=ctx.sweep,
+                git=dict(ctx.git),
+                max_attempts=self.max_attempts,
+                backoff_s=self.backoff_s,
+                lease_timeout_s=self.lease_timeout_s,
+            ),
+        )
+        mp = _pool_context()
+        workers = [
+            mp.Process(
+                target=_local_worker_entry,
+                args=(str(ctx.store.root), f"local-{i}"),
+                daemon=True,
+            )
+            for i in range(min(ctx.jobs, len(payloads)))
+        ]
+        for worker in workers:
+            worker.start()
+        pending = {str(p["spec_hash"]) for p in payloads}
+        seen: set = set()
+        dead_rescans = 0
+        try:
+            while seen != pending:
+                fresh = []
+                for spec_hash, record in queue.done_records():
+                    if spec_hash in seen or spec_hash not in pending:
+                        continue
+                    seen.add(spec_hash)
+                    fresh.append(record)
+                for record in fresh:
+                    yield StoredResult(**record)
+                if fresh:
+                    continue
+                queue.requeue_stale(self.lease_timeout_s)
+                if workers and not any(w.is_alive() for w in workers):
+                    # A worker's final done marker is written before it
+                    # exits, so grant one rescan to absorb the race.
+                    # With zero local workers we instead wait
+                    # indefinitely for external ``repro worker``s; with
+                    # local workers, all of them gone and nothing left
+                    # to observe means the queue was lost (e.g. the run
+                    # dir vanished) — fail loud rather than spin.
+                    if dead_rescans:
+                        raise ExecutorError(
+                            f"all {len(workers)} queue worker(s) exited "
+                            f"with {len(pending) - len(seen)} spec(s) "
+                            f"outstanding"
+                        )
+                    dead_rescans += 1
+                    continue
+                time.sleep(self.poll_s)
+        finally:
+            for worker in workers:
+                if worker.is_alive():
+                    worker.terminate()
+                worker.join()
+        queue.destroy()
+
+
+EXECUTORS: Dict[str, Type[ExecutorBackend]] = {
+    backend.name: backend
+    for backend in (SerialBackend, PoolBackend, QueueBackend)
+}
+
+
+def executor_by_name(name: str) -> ExecutorBackend:
+    """Instantiate a registered backend, listing options on a typo."""
+    try:
+        return EXECUTORS[name]()
+    except KeyError:
+        raise UnknownExecutorError(name) from None

@@ -1,0 +1,139 @@
+"""Sweep worker: lease specs from a run directory's queue and execute.
+
+``run_worker`` is the loop behind both the local worker processes the
+``queue`` backend spawns and the ``repro worker <run-dir>`` CLI (which
+can join from any host sharing the run directory's filesystem).  Each
+iteration leases one spec, heartbeats the lease while the experiment
+runs, then either streams the finished record into the sharded
+:class:`~repro.experiments.store.ResultStore` or requeues the spec
+with backoff when the attempt failed and budget remains.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Union
+
+from repro.experiments.exec.queue import ClaimedTask, QueueConfig, WorkQueue
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.store import ResultStore, StoredResult
+
+Progress = Optional[Callable[[str], None]]
+
+
+@dataclass
+class WorkerOutcome:
+    """What one worker loop did before the queue drained."""
+
+    worker_id: str
+    executed: List[StoredResult] = field(default_factory=list)
+    retried: int = 0
+
+    @property
+    def failed(self) -> List[StoredResult]:
+        return [r for r in self.executed if not r.ok]
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def _payload_label(payload) -> str:
+    return ExperimentSpec(
+        experiment=str(payload["experiment"]),
+        params=dict(payload["params"]),
+        repeat=int(payload["repeat"]),
+        seed=int(payload["seed"]),
+    ).label
+
+
+class _Heartbeat:
+    """Background thread bumping the lease mtime while a spec runs."""
+
+    def __init__(self, queue: WorkQueue, task: ClaimedTask, interval_s: float):
+        self._queue = queue
+        self._task = task
+        self._interval_s = max(interval_s, 0.01)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            self._queue.heartbeat(self._task)
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join()
+
+
+def run_worker(
+    run_dir: Union[str, Path],
+    worker_id: Optional[str] = None,
+    poll_s: float = 0.2,
+    wait_s: float = 0.0,
+    max_specs: Optional[int] = None,
+    progress: Progress = None,
+) -> WorkerOutcome:
+    """Drain specs from ``run_dir``'s queue until it is empty.
+
+    ``wait_s`` tolerates starting before the scheduler has populated
+    the queue (the external-worker pattern); ``max_specs`` bounds how
+    many specs this worker executes before handing back.  Raises
+    :class:`~repro.experiments.exec.queue.QueueError` when no queue
+    appears within the wait budget.
+    """
+    queue = WorkQueue(run_dir)
+    deadline = time.monotonic() + wait_s
+    while not queue.exists():
+        if time.monotonic() >= deadline:
+            queue.load_config()  # raises QueueError with the run dir
+        time.sleep(min(poll_s, 0.1))
+    config = queue.load_config()
+    store = ResultStore(run_dir)
+    outcome = WorkerOutcome(worker_id=worker_id or default_worker_id())
+
+    def note(line: str) -> None:
+        if progress is not None:
+            progress(line)
+
+    # Import here, not at module top: worker processes fork before any
+    # experiment has run, so the registry import cost lands once.
+    from repro.experiments.runner import _execute_spec
+
+    while max_specs is None or len(outcome.executed) < max_specs:
+        task = queue.claim(outcome.worker_id, config.lease_timeout_s)
+        if task is None:
+            if queue.drained():
+                break  # every spec is completed (or queue torn down)
+            time.sleep(poll_s)  # all remaining specs leased/backing off
+            continue
+        label = _payload_label(task.payload)
+        with _Heartbeat(queue, task, config.lease_timeout_s / 3):
+            raw = _execute_spec(task.payload)
+        if raw["status"] == "error" and task.attempts + 1 < config.max_attempts:
+            delay = queue.retry(task, config.backoff_s)
+            outcome.retried += 1
+            note(
+                f"retry   {label} "
+                f"(attempt {task.attempts + 1}/{config.max_attempts}, "
+                f"backoff {delay:.1f}s)"
+            )
+            continue
+        record = StoredResult(
+            timestamp=time.time(), sweep=config.sweep, **config.git, **raw
+        )
+        store.append(record)
+        queue.complete(task, asdict(record))
+        outcome.executed.append(record)
+        state = "ok     " if record.ok else "FAILED "
+        note(f"{state} {label} ({record.wall_time_s:.2f}s)")
+    return outcome

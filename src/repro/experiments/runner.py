@@ -1,13 +1,17 @@
-"""Parallel sweep executor with caching and failure isolation.
+"""Sweep scheduler: expand, cache-check, dispatch to an executor backend.
 
-Expanded :class:`~repro.experiments.spec.ExperimentSpec`s fan out
-across a :mod:`multiprocessing` pool.  Each worker seeds ``random``
-from the spec, runs the experiment through the registry, and returns a
-record dict — exceptions are caught per-spec, so one failed spec marks
-itself ``"error"`` without killing the sweep.  Before dispatch the
-runner consults the run directory's :class:`ResultStore`: specs whose
-content hash already has a successful record are skipped (the cache),
-making re-runs of a partially-failed or extended sweep incremental.
+:func:`run_sweep` is a thin scheduler over
+:mod:`repro.experiments.exec`: it expands the
+:class:`~repro.experiments.spec.SweepSpec`, collapses duplicates,
+consults the run directory's sharded :class:`ResultStore` for specs
+whose content hash already has a successful record (the cache), takes
+the run-level writer lock, and hands the pending payloads to the chosen
+:class:`~repro.experiments.exec.backends.ExecutorBackend` — ``serial``,
+``pool`` (the historical fork pool, the default), or ``queue`` (the
+durable work queue that ``repro worker`` processes can join from any
+host sharing the filesystem).  Every backend persists records as they
+land, so an interrupted sweep resumes without re-executing completed
+specs, and failures stay isolated per spec.
 """
 
 from __future__ import annotations
@@ -21,6 +25,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
+from repro.experiments.exec.backends import (
+    ExecutionContext,
+    ExecutorBackend,
+    executor_by_name,
+)
 from repro.experiments.spec import ExperimentSpec, SpecError, SweepSpec
 from repro.experiments.store import ResultStore, StoredResult, git_metadata
 
@@ -33,6 +42,7 @@ class SweepOutcome:
     out_dir: Path
     executed: List[StoredResult] = field(default_factory=list)
     cached: int = 0
+    backend: str = "pool"
 
     @property
     def failed(self) -> List[StoredResult]:
@@ -51,8 +61,9 @@ def _execute_spec(payload: Dict[str, object]) -> Dict[str, object]:
     """Worker entry point: run one spec, never raise.
 
     Top-level (picklable) so it works under both fork and spawn start
-    methods.  Returns a partial :class:`StoredResult` dict; the parent
-    adds timestamps and git metadata before persisting.
+    methods.  Returns a partial :class:`StoredResult` dict; the caller
+    (backend or queue worker) adds timestamps and git metadata before
+    persisting.
 
     The global ``random`` module is seeded from the spec for any
     experiment that consumes ambient randomness; note the current
@@ -88,14 +99,28 @@ def _execute_spec(payload: Dict[str, object]) -> Dict[str, object]:
             status="ok", error=None, series=result.series, text=result.text
         )
     finally:
-        # The serial (jobs=1) path runs in the caller's process: leave
-        # its global RNG stream the way we found it.
+        # The serial path runs in the caller's process: leave its
+        # global RNG stream the way we found it.
         random.setstate(rng_state)
     record["wall_time_s"] = time.perf_counter() - start
     return record
 
 
 def default_jobs() -> int:
+    """Worker count when ``--jobs`` is not given.
+
+    ``REPRO_JOBS`` overrides (uncapped, like an explicit ``--jobs``);
+    otherwise the CPU count, soft-capped at 8 so a sweep on a large
+    shared box does not monopolise it by default.
+    """
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {env!r}"
+            ) from None
     return max(1, min(8, os.cpu_count() or 1))
 
 
@@ -113,15 +138,25 @@ def run_sweep(
     jobs: Optional[int] = None,
     force: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    backend: Union[str, ExecutorBackend, None] = None,
 ) -> SweepOutcome:
-    """Expand ``sweep``, run uncached specs in parallel, persist results.
+    """Expand ``sweep``, run uncached specs via ``backend``, persist.
 
     ``force`` re-runs specs even when the store already holds a
     successful record for their hash.  ``progress`` (if given) receives
-    one human-readable line per spec as results land.
+    one human-readable line per spec as results land.  ``backend``
+    names a registered executor (``serial``/``pool``/``queue``) or is a
+    ready :class:`ExecutorBackend` instance; default ``pool``.  An
+    explicit ``jobs`` is honoured uncapped (``0`` means "no local
+    workers" and only makes sense with the ``queue`` backend, where
+    external ``repro worker`` processes supply the labour).
     """
     sweep.validate()
     specs = sweep.expand()
+    if isinstance(backend, ExecutorBackend):
+        executor = backend
+    else:
+        executor = executor_by_name(backend or "pool")
     store = ResultStore(out_dir)
     prior = store.load_sweep_name()
     if prior is not None and prior != sweep.name:
@@ -130,7 +165,9 @@ def run_sweep(
             f"refusing to mix in {sweep.name!r} — use a different --out"
         )
     store.save_sweep(sweep.to_dict())
-    outcome = SweepOutcome(sweep=sweep.name, out_dir=Path(out_dir))
+    outcome = SweepOutcome(
+        sweep=sweep.name, out_dir=Path(out_dir), backend=executor.name
+    )
 
     # Identical specs (e.g. a duplicated grid value) collapse to one
     # before any accounting, so cached/executed totals agree across
@@ -159,40 +196,26 @@ def run_sweep(
         }
         for s in pending
     ]
-    meta = git_metadata(repo_dir=None)
+    if not payloads:
+        return outcome
     labels = {s.spec_hash: s.label for s in pending}
-
-    def persist(raw: Dict[str, object]) -> None:
-        record = StoredResult(timestamp=time.time(), sweep=sweep.name, **meta, **raw)
-        store.append(record)
-        outcome.executed.append(record)
-        if progress:
-            state = "ok     " if record.ok else "FAILED "
-            progress(
-                f"{state} {labels[record.spec_hash]} "
-                f"({record.wall_time_s:.2f}s)"
-            )
-
-    # Results are persisted as they land (not after the pool drains), so
-    # an interrupted sweep keeps every completed spec in the cache.
-    jobs = jobs or default_jobs()
-    if jobs <= 1 or len(payloads) <= 1:
-        for payload in payloads:
-            persist(_execute_spec(payload))
-    else:
-        pool = _pool_context().Pool(processes=min(jobs, len(payloads)))
-        try:
-            # Unordered: a slow head-of-line spec must not delay
-            # persisting specs that already finished behind it.
-            for raw in pool.imap_unordered(_execute_spec, payloads):
-                persist(raw)
-        except BaseException:
-            # Abort outstanding specs instead of draining a long sweep
-            # before the real error (or Ctrl-C) can surface.
-            pool.terminate()
-            raise
-        else:
-            pool.close()
-        finally:
-            pool.join()
+    ctx = ExecutionContext(
+        store=store,
+        jobs=jobs if jobs is not None else default_jobs(),
+        sweep=sweep.name,
+        git=git_metadata(repo_dir=None),
+    )
+    # One scheduler per run directory: advisory, heartbeated on every
+    # persisted record, stale-taken-over if a prior scheduler crashed.
+    with store.writer_lock() as lock:
+        # Every backend persists records as they land (not after the
+        # run drains), so an interrupted sweep keeps every completed
+        # spec in the cache.
+        for record in executor.execute(payloads, ctx):
+            outcome.executed.append(record)
+            lock.refresh()
+            if progress:
+                state = "ok     " if record.ok else "FAILED "
+                label = labels.get(record.spec_hash, record.spec_hash)
+                progress(f"{state} {label} ({record.wall_time_s:.2f}s)")
     return outcome

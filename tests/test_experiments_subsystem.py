@@ -17,6 +17,7 @@ from repro.experiments import (
     ResultStore,
     RunReport,
     SpecError,
+    StoreCorruptionWarning,
     StoredResult,
     SweepSpec,
     compare_runs,
@@ -185,12 +186,15 @@ def test_store_latest_record_wins(tmp_path):
     assert store.ok_hashes() == {"h1"}
 
 
-def test_store_skips_corrupt_lines(tmp_path):
+def test_store_counts_and_warns_on_corrupt_lines(tmp_path):
     store = ResultStore(tmp_path / "run")
     store.append(_record("h1"))
     with store.results_path.open("a") as fh:
         fh.write("not json\n")
-    assert len(store.load()) == 1
+    with pytest.warns(StoreCorruptionWarning, match="1 corrupt"):
+        loaded = store.load()
+    assert len(loaded) == 1
+    assert loaded.skipped == 1
 
 
 # ------------------------------ Runner --------------------------------
