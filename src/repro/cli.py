@@ -16,7 +16,12 @@ Usage::
     python -m repro workload show "zipf(256,1.2)"
     python -m repro workload record mixed --seed 7 --out mixed.jsonl
     python -m repro workload replay mixed.jsonl --topology fanout-2
+    python -m repro fault list
+    python -m repro fault show storm
+    python -m repro fault validate examples/faults/*.json
     python -m repro sweep --preset quick --jobs 4
+    python -m repro sweep fault-tolerance --backend serial
+    python -m repro sweep --preset quick --backend queue --max-retries 4
     python -m repro sweep topology-scale --jobs 2
     python -m repro sweep my_sweep.json --out runs/mine
     python -m repro sweep --preset quick --backend queue --jobs 2
@@ -239,6 +244,58 @@ def _cmd_workload(args: argparse.Namespace, out: IO[str]) -> int:
     return 0
 
 
+def _cmd_fault(args: argparse.Namespace, out: IO[str]) -> int:
+    from repro.faults import (
+        FaultSchemaError,
+        UnknownFaultPlanError,
+        fault_plan_description,
+        fault_plan_names,
+        load_fault_plan,
+        resolve_fault_plan,
+    )
+
+    if args.action == "list":
+        names = fault_plan_names()
+        width = max(len(name) for name in names)
+        out.write("registered fault plans:\n")
+        for name in names:
+            out.write(f"  {name:<{width}}  {fault_plan_description(name)}\n")
+        return 0
+    if args.action == "validate":
+        if not args.names:
+            out.write("fault validate needs one or more JSON plan files\n")
+            return 2
+        failures = 0
+        for raw in args.names:
+            try:
+                plan = load_fault_plan(raw)
+            except FaultSchemaError as exc:
+                out.write(f"FAIL {raw}: {exc}\n")
+                failures += 1
+            else:
+                out.write(
+                    f"ok   {raw}: {plan.name} ({len(plan.events)} events)\n"
+                )
+        return 2 if failures else 0
+    # show: one registered name/reference, or a JSON plan file.
+    if len(args.names) != 1:
+        out.write("fault show needs a name or reference "
+                  "(see 'repro fault list')\n")
+        return 2
+    source = args.names[0]
+    try:
+        if Path(source).is_file():
+            plan = load_fault_plan(source)
+        else:
+            plan = resolve_fault_plan(source)
+    except (UnknownFaultPlanError, FaultSchemaError, ValueError) as exc:
+        out.write(f"{exc}\n")
+        return 2
+    out.write(plan.describe())
+    out.write("\n")
+    return 0
+
+
 def _cmd_info(_args: argparse.Namespace, out: IO[str]) -> int:
     from repro.config import asic_system, fpga_system
 
@@ -271,6 +328,37 @@ def _cmd_sweep(args: argparse.Namespace, out: IO[str]) -> int:
         out.write("sweep needs exactly one of: a spec file, or --preset NAME\n")
         out.write(f"presets: {', '.join(sorted(PRESETS))}\n")
         return 2
+    backend = args.backend
+    retry_flags = (
+        args.max_retries is not None or args.retry_backoff_s is not None
+    )
+    if retry_flags:
+        if args.max_retries is not None and args.max_retries < 0:
+            out.write(f"--max-retries must be >= 0, got {args.max_retries}\n")
+            return 2
+        if args.retry_backoff_s is not None and args.retry_backoff_s < 0:
+            out.write(
+                f"--retry-backoff-s must be >= 0, got {args.retry_backoff_s:g}\n"
+            )
+            return 2
+        if args.backend not in (None, "queue"):
+            out.write(
+                "--max-retries/--retry-backoff-s require the durable work "
+                f"queue (--backend queue), not {args.backend!r}\n"
+            )
+            return 2
+        from repro.experiments.exec import QueueBackend
+
+        # max_attempts counts the first try; N retries = N+1 attempts.
+        backend = QueueBackend(
+            max_attempts=(
+                args.max_retries + 1 if args.max_retries is not None else 3
+            ),
+            backoff_s=(
+                args.retry_backoff_s if args.retry_backoff_s is not None
+                else 0.5
+            ),
+        )
     try:
         if args.preset:
             sweep = preset_sweep(args.preset)
@@ -298,7 +386,7 @@ def _cmd_sweep(args: argparse.Namespace, out: IO[str]) -> int:
             jobs=args.jobs,
             force=args.force,
             progress=lambda line: out.write(line + "\n"),
-            backend=args.backend,
+            backend=backend,
         )
     except (SpecError, LockHeldError) as exc:
         out.write(f"{exc}\n")
@@ -480,6 +568,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="executor backend (default: pool; 'queue' writes a durable "
         "work queue that 'repro worker' processes can join)",
     )
+    sweep.add_argument(
+        "--max-retries", type=int, default=None,
+        help="re-attempts per failed spec before it is marked failed "
+        "(queue backend only; default 2)",
+    )
+    sweep.add_argument(
+        "--retry-backoff-s", type=float, default=None,
+        help="base exponential backoff between spec attempts in seconds "
+        "(queue backend only; default 0.5)",
+    )
+
+    fault = sub.add_parser(
+        "fault",
+        help="list, inspect, or validate fault-injection plans",
+    )
+    fault.add_argument("action", choices=["list", "show", "validate"])
+    fault.add_argument(
+        "names", nargs="*",
+        help="plan name/reference (show) or JSON plan file(s) "
+        "(validate; show also accepts a file)",
+    )
 
     worker = sub.add_parser(
         "worker",
@@ -534,6 +643,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "topology": _cmd_topology,
     "workload": _cmd_workload,
+    "fault": _cmd_fault,
     "sweep": _cmd_sweep,
     "worker": _cmd_worker,
     "report": _cmd_report,

@@ -24,6 +24,16 @@ from repro.kernel.numa import NodeKind, NumaNode, NumaRegistry
 from repro.mem.address import AddressRange
 
 
+class HostDownError(RuntimeError):
+    """A coherent access targeted a host that is NAKing (marked down).
+
+    The supernode's fail-loud path: the fault layer marks hosts
+    unavailable (:meth:`Supernode.set_host_available`) and every
+    coherent access against a down host raises this — degraded-mode
+    callers catch it and retry-with-backoff instead.
+    """
+
+
 @dataclass
 class SupernodeHost:
     """One child host of the supernode."""
@@ -33,6 +43,8 @@ class SupernodeHost:
     leased_nodes: List[int] = field(default_factory=list)
     remote_accesses: int = 0
     remote_latency_ps: int = 0
+    available: bool = True
+    naks: int = 0
 
 
 def make_supernode_host(config: SystemConfig, name: str) -> SupernodeHost:
@@ -167,13 +179,30 @@ class Supernode:
     # ------------------------------------------------------------------
     # Cross-host coherent access
     # ------------------------------------------------------------------
+    def set_host_available(self, host: str, available: bool) -> None:
+        """Mark a host up/down; down hosts NAK coherent accesses.
+
+        The hook the fault layer drives
+        (:meth:`repro.faults.controller.FaultController.apply_supernode`)
+        — the supernode itself stays fault-agnostic.
+        """
+        self.hosts[host].available = available
+
     def coherent_access(self, host: str, addr: int, exclusive: bool = False) -> int:
         """One access from ``host``; returns the fabric latency paid (ps).
 
         Local-agent hits are free of fabric traffic; misses consult the
-        global agent at the root switch.
+        global agent at the root switch.  A host marked unavailable
+        NAKs: the access raises :class:`HostDownError` (and counts
+        against the host) without touching the coherence domain.
         """
         entry = self.hosts[host]
+        if not entry.available:
+            entry.naks += 1
+            raise HostDownError(
+                f"supernode host {host!r} is down: coherent access NAKed "
+                f"({entry.naks} so far)"
+            )
         child = self._child_of[host]
         local_hit = self.domain.access(child, addr, exclusive)
         if local_hit:

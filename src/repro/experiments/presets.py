@@ -85,6 +85,51 @@ PRESETS: Dict[str, dict] = {
             },
         ],
     },
+    "fault-tolerance": {
+        # Failure as a sweep axis: the same workload/topology pairs
+        # driven under every built-in fault plan (plus the fault-free
+        # baseline, which must match a plain run bit-for-bit — CI's
+        # fault-smoke job asserts exactly that).  Quick sizes so CI
+        # can sweep it serially as a smoke test.
+        "name": "fault-tolerance",
+        "repeats": 1,
+        "base_seed": 1234,
+        "experiments": [
+            {
+                "experiment": "fault-tolerance",
+                "params": {
+                    "topology": "fanout-2",
+                    "workload": "zipf(96,1.2)",
+                    "streams": 2,
+                },
+                "grid": {
+                    "fault": [
+                        "none",
+                        "link-degrade",
+                        "link-flap",
+                        "dev-drop",
+                        "msg-corrupt(0.1)",
+                        "storm",
+                    ],
+                },
+            },
+            {
+                "experiment": "fault-tolerance",
+                "params": {
+                    "topology": "supernode(2)",
+                    "workload": "producer-consumer(96,24)",
+                },
+                "grid": {
+                    "fault": [
+                        "none",
+                        "host-outage",
+                        "link-degrade",
+                        "storm",
+                    ],
+                },
+            },
+        ],
+    },
     "paper": {
         "name": "paper",
         "repeats": 1,

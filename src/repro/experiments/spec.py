@@ -183,6 +183,11 @@ class SweepSpec:
     #: the workload registry with the same fail-up-front contract.
     WORKLOAD_PARAM = "workload"
 
+    #: Param key whose values are fault-plan references, validated
+    #: against the fault-plan registry with the same fail-up-front
+    #: contract (inline plan dicts schema-validate in full).
+    FAULT_PARAM = "fault"
+
     def validate(self) -> None:
         """Check every group against the experiment registry up-front."""
         from repro.harness.experiments import spec_parameters
@@ -207,6 +212,7 @@ class SweepSpec:
                 )
             self._validate_topology_refs(group)
             self._validate_workload_refs(group)
+            self._validate_fault_refs(group)
 
     @classmethod
     def _axis_values(cls, group: SweepGroup, param: str) -> List[object]:
@@ -247,6 +253,28 @@ class SweepSpec:
         for ref in refs:
             try:
                 validate_workload_ref(ref)
+            except ValueError as exc:
+                raise SpecError(
+                    f"experiment {group.experiment!r}: {exc}"
+                ) from None
+
+    def _validate_fault_refs(self, group: SweepGroup) -> None:
+        """Fail up-front on fault axes that name no registered plan.
+
+        A fault value may also be an *inline* JSON plan (an event
+        timeline straight in the grid) — those schema-validate in
+        full.  Factory *arguments* stay unchecked (a bad
+        ``link-degrade(0)`` fails at run time inside its own spec,
+        covered by failure isolation).
+        """
+        refs = self._axis_values(group, self.FAULT_PARAM)
+        if not refs:
+            return
+        from repro.faults import validate_fault_ref
+
+        for ref in refs:
+            try:
+                validate_fault_ref(ref)
             except ValueError as exc:
                 raise SpecError(
                     f"experiment {group.experiment!r}: {exc}"

@@ -1,0 +1,72 @@
+"""Fault injection: declarative failure plans and degraded-mode runs.
+
+The third declarative axis of a simulated scenario, alongside shape
+(:mod:`repro.system`) and traffic (:mod:`repro.workloads`):
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultEvent`
+  schemas, the named registry, JSON load/dump, sweep-grid references;
+* :mod:`repro.faults.plans` — built-in plans (``none``,
+  ``link-degrade``, ``link-flap``, ``host-outage``, ``dev-drop``,
+  ``msg-corrupt``, ``storm``);
+* :mod:`repro.faults.controller` — :class:`FaultController` binding a
+  plan to a built system, strict/degraded modes, :class:`RetryPolicy`,
+  and availability/recovery metrics.
+
+Importing this package registers every built-in plan plus any shipped
+JSON plans under ``examples/faults/``.
+"""
+
+from repro.faults.controller import (
+    MODES,
+    FaultActiveError,
+    FaultController,
+    FaultStats,
+    RetryPolicy,
+)
+from repro.faults.plan import (
+    FAULT_PLANS,
+    FaultEvent,
+    FaultPlan,
+    FaultSchemaError,
+    UnknownFaultPlanError,
+    corrupt_draw,
+    dump_fault_plan,
+    fault_plan_by_name,
+    fault_plan_description,
+    fault_plan_names,
+    load_fault_plan,
+    parse_fault_ref,
+    register_fault_plan,
+    register_fault_plan_file,
+    resolve_fault_plan,
+    validate_fault_ref,
+    _register_shipped_plans,
+)
+from repro.faults import plans as _plans  # noqa: F401  (registers built-ins)
+
+# Shipped JSON plans join the registry alongside the in-code ones.
+_register_shipped_plans()
+
+__all__ = [
+    "MODES",
+    "FAULT_PLANS",
+    "FaultActiveError",
+    "FaultController",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSchemaError",
+    "FaultStats",
+    "RetryPolicy",
+    "UnknownFaultPlanError",
+    "corrupt_draw",
+    "dump_fault_plan",
+    "fault_plan_by_name",
+    "fault_plan_description",
+    "fault_plan_names",
+    "load_fault_plan",
+    "parse_fault_ref",
+    "register_fault_plan",
+    "register_fault_plan_file",
+    "resolve_fault_plan",
+    "validate_fault_ref",
+]

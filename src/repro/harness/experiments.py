@@ -497,3 +497,4 @@ def run_experiment(name: str, **params) -> ExperimentResult:
 # the module is self-contained for every consumer of EXPERIMENTS.
 from repro.harness import topology_experiments as _topology_experiments  # noqa: E402,F401
 from repro.harness import workload_experiments as _workload_experiments  # noqa: E402,F401
+from repro.harness import fault_experiments as _fault_experiments  # noqa: E402,F401

@@ -105,9 +105,10 @@ class NicBase(Component):
         values: Optional[HostValues] = None,
         rx_depth: int = 1024,
         tx_depth: int = 1024,
+        rx_policy: str = "raise",
     ) -> None:
         super().__init__(sim, name)
-        self.rx = BoundedQueue(rx_depth, f"{name}.rx")
+        self.rx = BoundedQueue(rx_depth, f"{name}.rx", policy=rx_policy)
         self.tx = BoundedQueue(tx_depth, f"{name}.tx")
         self.mtt = MemoryTranslationTable()
         self.values = values if values is not None else HostValues()
@@ -116,6 +117,17 @@ class NicBase(Component):
 
     def ring_doorbell(self) -> None:
         self.doorbells += 1
+
+    def ingest(self, payload: object) -> bool:
+        """Accept one arriving payload into the RX ring.
+
+        Under the default ``rx_policy="raise"`` an overflowing ring
+        fails loud (:class:`~repro.sim.queueing.QueueFullError`); with
+        ``rx_policy="drop"`` overflow counts in ``rx.dropped`` and the
+        payload is lost — degraded-mode availability accounting instead
+        of a crash.  Returns True when the payload was enqueued.
+        """
+        return self.rx.push(payload)
 
     def send_response(self, payload: object) -> None:
         if self.tx.full:

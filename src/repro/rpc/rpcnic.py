@@ -22,12 +22,19 @@ from repro.rpc.message import MessageStats, decode_message, encode_message
 
 @dataclass
 class PipelineResult:
-    """Total and per-message times for one bench run."""
+    """Total and per-message times for one bench run.
+
+    ``retransmits``/``dropped`` stay zero on the default clean wire;
+    they count lossy-wire recovery when a pipeline runs with a
+    ``corrupt_rate`` (see :class:`RpcNicPipeline`).
+    """
 
     design: str
     bench: str
     per_message_ps: List[int]
     verified: bool
+    retransmits: int = 0
+    dropped: int = 0
 
     @property
     def total_ps(self) -> int:
@@ -63,13 +70,54 @@ def encode_time_ps(params: RpcParams, stats: MessageStats) -> int:
 
 
 class RpcNicPipeline:
-    """The PCIe RpcNIC design."""
+    """The PCIe RpcNIC design.
+
+    ``corrupt_rate`` models a lossy wire: each message delivery draws
+    deterministically (:func:`repro.faults.plan.corrupt_draw`, the same
+    hash the fault controller uses, so the layers cannot drift) and a
+    corrupted delivery is retransmitted — the whole per-message cost is
+    paid again — up to ``max_retransmits`` times before the message
+    counts as dropped.  The default clean wire (rate 0) never draws and
+    is bit-identical to the pre-fault pipeline.
+    """
 
     TEMP_BUFFER = 4096
 
-    def __init__(self, config: SystemConfig) -> None:
+    def __init__(
+        self,
+        config: SystemConfig,
+        corrupt_rate: float = 0.0,
+        seed: int = 1234,
+        max_retransmits: int = 3,
+    ) -> None:
+        if not 0 <= corrupt_rate < 1:
+            raise ValueError(
+                f"corrupt_rate must be in [0, 1), got {corrupt_rate!r}"
+            )
+        if max_retransmits < 0:
+            raise ValueError(
+                f"max_retransmits must be >= 0, got {max_retransmits!r}"
+            )
         self.config = config
         self.params = config.rpc
+        self.corrupt_rate = corrupt_rate
+        self.seed = seed
+        self.max_retransmits = max_retransmits
+
+    def _deliveries(self, key: str, index: int) -> "tuple[int, bool]":
+        """Wire deliveries paid for message ``index``; True = dropped."""
+        deliveries = 1
+        if self.corrupt_rate <= 0:
+            return deliveries, False
+        from repro.faults.plan import corrupt_draw
+
+        while corrupt_draw(
+            self.seed, f"{key}:{index}", deliveries - 1, self.corrupt_rate
+        ):
+            if deliveries > self.max_retransmits:
+                return deliveries, True
+            deliveries += 1
+        return deliveries, False
 
     # ------------------------------------------------------------------
     # Fig. 18a: deserialization
@@ -78,9 +126,13 @@ class RpcNicPipeline:
         params = self.params
         times: List[int] = []
         verified = True
-        for value, wire, stats in zip(bench.values, bench.encoded, bench.stats):
-            decoded = decode_message(bench.schema, wire)
-            verified = verified and decoded == value
+        retransmits = 0
+        dropped = 0
+        for i, (value, wire, stats) in enumerate(
+            zip(bench.values, bench.encoded, bench.stats)
+        ):
+            deliveries, lost = self._deliveries(f"{bench.name}:rx", i)
+            retransmits += deliveries - 1
             # One DMA flush per temp-buffer fill (at least one per message).
             flushes = max(1, -(-stats.wire_bytes // self.TEMP_BUFFER))
             t = (
@@ -88,8 +140,16 @@ class RpcNicPipeline:
                 + flushes * params.flush_fixed_ps
                 + params.flush_byte_ps * stats.wire_bytes
             )
-            times.append(t)
-        return PipelineResult("RpcNIC", bench.name, times, verified)
+            times.append(t * deliveries)
+            if lost:
+                dropped += 1
+                continue
+            decoded = decode_message(bench.schema, wire)
+            verified = verified and decoded == value
+        return PipelineResult(
+            "RpcNIC", bench.name, times, verified,
+            retransmits=retransmits, dropped=dropped,
+        )
 
     # ------------------------------------------------------------------
     # Fig. 18b: serialization
@@ -98,9 +158,13 @@ class RpcNicPipeline:
         params = self.params
         times: List[int] = []
         verified = True
-        for value, wire, stats in zip(bench.values, bench.encoded, bench.stats):
-            encoded = encode_message(bench.schema, value)
-            verified = verified and encoded == wire
+        retransmits = 0
+        dropped = 0
+        for i, (value, wire, stats) in enumerate(
+            zip(bench.values, bench.encoded, bench.stats)
+        ):
+            deliveries, lost = self._deliveries(f"{bench.name}:tx", i)
+            retransmits += deliveries - 1
             t = (
                 # CPU pre-serialization: DSA gathers every field.
                 params.dsa_field_ps * stats.scalar_fields
@@ -113,8 +177,16 @@ class RpcNicPipeline:
                 # Hardware encode from NIC memory.
                 + encode_time_ps(params, stats)
             )
-            times.append(t)
-        return PipelineResult("RpcNIC", bench.name, times, verified)
+            times.append(t * deliveries)
+            if lost:
+                dropped += 1
+                continue
+            encoded = encode_message(bench.schema, value)
+            verified = verified and encoded == wire
+        return PipelineResult(
+            "RpcNIC", bench.name, times, verified,
+            retransmits=retransmits, dropped=dropped,
+        )
 
 
 from repro.system.registry import register_component  # noqa: E402
@@ -123,4 +195,9 @@ from repro.system.registry import register_component  # noqa: E402
 @register_component("rpc.rpcnic")
 def _build_rpcnic_pipeline(builder, system, spec) -> RpcNicPipeline:
     """Builder factory: the PCIe RpcNIC (de)serialization pipeline."""
-    return RpcNicPipeline(system.config)
+    return RpcNicPipeline(
+        system.config,
+        corrupt_rate=float(spec.params.get("corrupt_rate", 0.0)),
+        seed=int(spec.params.get("seed", 1234)),
+        max_retransmits=int(spec.params.get("max_retransmits", 3)),
+    )

@@ -37,6 +37,12 @@ from repro.workloads.base import Workload, WorkloadOp, resolve_workload
 #: system too (producer/consumer sharing relies on this).
 WINDOW_BASE = 0x20_0000
 
+#: Supernode coherent accesses are synchronous (no simulator clock), so
+#: fault windows are evaluated against a virtual clock: think time plus
+#: paid fabric latency plus this per-access issue pacing, which keeps
+#: the clock advancing even through local-hit streaks.
+SUPERNODE_ISSUE_GAP_PS = 50_000
+
 
 class WorkloadDriverError(ValueError):
     """The target system exposes nothing the driver can issue through."""
@@ -54,6 +60,7 @@ class WorkloadMeasurement:
     reads: int
     writes: int
     series: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    fault: Optional[str] = None
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-JSON form; equality of two dicts is measurement parity."""
@@ -66,14 +73,17 @@ class WorkloadMeasurement:
             "reads": self.reads,
             "writes": self.writes,
             "series": {k: dict(v) for k, v in self.series.items()},
+            "fault": self.fault,
         }
 
     def render(self) -> str:
         """Human-readable table used by ``repro workload replay``."""
         from repro.harness.tables import render_series
 
+        under = f" under fault plan {self.fault}" if self.fault else ""
         title = (
-            f"workload {self.workload} on {self.topology} ({self.mode} mode, "
+            f"workload {self.workload} on {self.topology}{under} "
+            f"({self.mode} mode, "
             f"seed {self.seed}): {self.ops} ops "
             f"({self.reads} reads / {self.writes} writes)"
         )
@@ -97,6 +107,10 @@ class WorkloadDriver:
         topology: Union[str, Topology, Dict[str, object]] = "microbench",
         seed: int = 1234,
         streams: Optional[int] = None,
+        fault: Union[str, Dict[str, object], None] = None,
+        fault_mode: str = "strict",
+        fault_retries: int = 3,
+        fault_backoff_ps: int = 500_000,
     ) -> WorkloadMeasurement:
         """Expand ``workload`` under ``seed`` and issue it through ``topology``.
 
@@ -104,6 +118,19 @@ class WorkloadDriver:
         across that many issue chains (so e.g. ``zipf`` can load every
         LSU of a fan-out); workloads that already declare multiple
         streams (producer/consumer sharing) keep their own mapping.
+
+        ``fault`` (a :class:`~repro.faults.plan.FaultPlan` reference)
+        installs a failure timeline against the built system before
+        driving.  ``fault_mode`` selects what an op hitting an active
+        fault does: ``"strict"`` (default) fails loud —
+        :class:`~repro.faults.controller.FaultActiveError` /
+        :class:`~repro.core.supernode.HostDownError` — while
+        ``"degraded"`` opts into bounded retry-with-backoff
+        (``fault_retries`` retries, ``fault_backoff_ps`` initial
+        backoff) followed by count-and-drop, and the measurement grows
+        ``availability``/``recovery``/``lat_p99_ns`` series.  With
+        ``fault=None`` this method is byte-for-byte the historical
+        no-fault path.
         """
         resolved_workload = resolve_workload(workload)
         ops = resolved_workload.ops(seed)
@@ -116,11 +143,28 @@ class WorkloadDriver:
             ]
         resolved_topology = resolve_topology(topology)
         system = SystemBuilder(self.config).build(resolved_topology)
+        controller = None
+        if fault is not None:
+            from repro.faults import (
+                FaultController,
+                RetryPolicy,
+                resolve_fault_plan,
+            )
+
+            plan = resolve_fault_plan(fault)
+            controller = FaultController(
+                plan,
+                seed=seed,
+                mode=fault_mode,
+                retry=RetryPolicy(fault_retries, fault_backoff_ps),
+            ).install(system)
         if resolved_topology.by_kind("supernode.fabric"):
-            series = self._drive_supernode(system, resolved_topology, ops)
+            series = self._drive_supernode(
+                system, resolved_topology, ops, controller
+            )
             mode = "supernode"
         elif resolved_topology.by_kind("lsu"):
-            series = self._drive_lsus(system, resolved_topology, ops)
+            series = self._drive_lsus(system, resolved_topology, ops, controller)
             mode = "lsu"
         else:
             kinds = sorted({spec.kind for spec in resolved_topology.nodes})
@@ -129,6 +173,11 @@ class WorkloadDriver:
                 f"'supernode.fabric' node to drive a workload through "
                 f"(kinds present: {', '.join(kinds)})"
             )
+        if controller is not None:
+            if mode == "lsu":
+                controller.end_ps = system.sim.now
+            series["availability"] = controller.availability_series()
+            series["recovery"] = controller.recovery_series()
         return WorkloadMeasurement(
             workload=resolved_workload.name,
             topology=resolved_topology.name,
@@ -138,23 +187,34 @@ class WorkloadDriver:
             reads=sum(1 for op in ops if op.kind == "read"),
             writes=sum(1 for op in ops if op.kind == "write"),
             series=series,
+            fault=None if controller is None else controller.plan.name,
         )
 
     # ------------------------------------------------------------------
     # LSU mode
     # ------------------------------------------------------------------
     def _drive_lsus(
-        self, system, topology: Topology, ops: List[WorkloadOp]
+        self, system, topology: Topology, ops: List[WorkloadOp],
+        controller=None,
     ) -> Dict[str, Dict[str, float]]:
-        lsus = [system.node(spec.name) for spec in topology.by_kind("lsu")]
+        lsu_specs = topology.by_kind("lsu")
+        lsus = [system.node(spec.name) for spec in lsu_specs]
         chains: Dict[int, List[WorkloadOp]] = {}
         for op in ops:
             chains.setdefault(op.stream, []).append(op)
 
         stats: Dict[int, Dict[str, object]] = {}
         for stream in sorted(chains):
-            lsu = lsus[stream % len(lsus)]
-            stats[stream] = self._issue_chain(lsu, chains[stream])
+            index = stream % len(lsus)
+            if controller is None:
+                stats[stream] = self._issue_chain(lsus[index], chains[stream])
+            else:
+                stats[stream] = self._issue_chain_faulted(
+                    lsus[index],
+                    chains[stream],
+                    controller,
+                    self._fault_binding(topology, lsu_specs[index]),
+                )
         system.sim.run()
 
         series: Dict[str, Dict[str, float]] = {
@@ -194,7 +254,158 @@ class WorkloadDriver:
         series["bandwidth_gbps"]["all"] = (
             total_bytes / span * 1_000 if span > 0 else 0.0
         )
+        if controller is not None:
+            # Tail latency is what fault plans exist to move; nearest-rank
+            # p99 over completed ops, per stream and pooled.
+            series["lat_p99_ns"] = {}
+            for stream, state in sorted(stats.items()):
+                series["lat_p99_ns"][f"s{stream}"] = (
+                    self._p99_ns(state["latencies"])
+                )
+            series["lat_p99_ns"]["all"] = self._p99_ns(all_latencies)
         return series
+
+    @staticmethod
+    def _p99_ns(latencies: List[int]) -> float:
+        """Nearest-rank 99th percentile, in nanoseconds (0.0 when empty)."""
+        if not latencies:
+            return 0.0
+        ranked = sorted(latencies)
+        rank = max(0, -(-99 * len(ranked) // 100) - 1)
+        return ranked[rank] / 1_000
+
+    @staticmethod
+    def _fault_binding(topology: Topology, lsu_spec):
+        """The nodes and links whose faults block one LSU's issue path.
+
+        An LSU op traverses its d2h link, its device, and the device's
+        uplink(s) to the host — a ``device_drop`` on the device, a
+        ``host_down`` on the host node, or a flap on either link all
+        stall this chain.
+        """
+        device = lsu_spec.params.get("device")
+        if device is None:
+            for link in topology.links_of(lsu_spec.name):
+                other = link.other(lsu_spec.name)
+                if topology.node(other).kind.startswith("cxl."):
+                    device = other
+                    break
+        nodes = {lsu_spec.name}
+        keys = {
+            tuple(sorted((link.a, link.b)))
+            for link in topology.links_of(lsu_spec.name)
+        }
+        if device is not None:
+            nodes.add(device)
+            for link in topology.links_of(device):
+                keys.add(tuple(sorted((link.a, link.b))))
+                nodes.add(link.other(device))
+        return tuple(sorted(nodes)), tuple(sorted(keys))
+
+    @staticmethod
+    def _issue_chain_faulted(
+        lsu, ops: List[WorkloadOp], controller, binding
+    ) -> Dict[str, object]:
+        """Fault-aware variant of :meth:`_issue_chain` for one stream.
+
+        With no fault active the chain schedules exactly the same event
+        sequence as the plain chain (the guards are synchronous checks
+        that fall through), so an empty plan reproduces a plain run
+        bit-identically.  When the op's path is faulted: strict mode
+        raises :class:`~repro.faults.controller.FaultActiveError` out
+        of the simulator; degraded mode retries with bounded backoff
+        and finally counts the op as dropped.  Corrupted completions
+        retransmit (re-paying the issue/access/complete pipeline) with
+        the same bound.
+        """
+        from repro.faults.controller import FaultActiveError
+
+        nodes, keys = binding
+        retry = controller.retry
+        stats = controller.stats
+        profile = lsu.profile
+        issue_ps = profile.cycles_ps(profile.lsu_issue_cycles)
+        complete_ps = profile.cycles_ps(profile.lsu_complete_cycles)
+        state: Dict[str, object] = {
+            "latencies": [],
+            "bytes": 0,
+            "first_issue_ps": -1,
+            "last_done_ps": 0,
+            "index": 0,
+            "issued_ps": 0,
+        }
+
+        def issue_next() -> None:
+            if state["index"] >= len(ops):
+                return
+            op = ops[state["index"]]
+            state["index"] += 1
+            # Per-op fault bookkeeping: first-issue time (latency spans
+            # every retry/retransmit), down-retry and retransmit budgets.
+            op_state = {"issued_ps": -1, "attempt": 0, "redeliver": 0}
+
+            def start() -> None:
+                now = lsu.sim.now
+                if op_state["issued_ps"] < 0:
+                    op_state["issued_ps"] = now
+                    if state["first_issue_ps"] < 0:
+                        state["first_issue_ps"] = now
+                    stats.record_attempt()
+                state["issued_ps"] = op_state["issued_ps"]
+                if controller.path_down(nodes, keys, now):
+                    if not controller.degraded:
+                        raise FaultActiveError(
+                            f"{lsu.name}: op {op.kind} @0x{op.addr:x} hit an "
+                            f"active fault at {now}ps (path nodes "
+                            f"{', '.join(nodes)})"
+                        )
+                    if op_state["attempt"] < retry.max_retries:
+                        delay = retry.delay_ps(op_state["attempt"])
+                        op_state["attempt"] += 1
+                        stats.record_retry()
+                        lsu.schedule(delay, start)
+                        return
+                    stats.record_drop()
+                    issue_next()
+                    return
+                if op.kind == "write":
+                    lsu.schedule(issue_ps, lsu.dcoh.write, WINDOW_BASE + op.addr, done)
+                else:
+                    lsu.schedule(issue_ps, lsu.dcoh.read, WINDOW_BASE + op.addr, done)
+
+            def done(_result) -> None:
+                lsu.schedule(complete_ps, finish)
+
+            def finish() -> None:
+                now = lsu.sim.now
+                corrupted = False
+                for key in keys:
+                    corrupted = controller.corrupted(key, now) or corrupted
+                if corrupted:
+                    stats.record_corrupt()
+                    if not controller.degraded:
+                        raise FaultActiveError(
+                            f"{lsu.name}: op {op.kind} @0x{op.addr:x} "
+                            f"corrupted on the wire at {now}ps"
+                        )
+                    if op_state["redeliver"] < retry.max_retries:
+                        op_state["redeliver"] += 1
+                        stats.record_retry()
+                        start()  # retransmit re-pays the whole pipeline
+                        return
+                    stats.record_drop()
+                    issue_next()
+                    return
+                state["latencies"].append(now - op_state["issued_ps"])
+                state["bytes"] += op.size
+                state["last_done_ps"] = now
+                stats.record_completion(now)
+                issue_next()
+
+            lsu.schedule(op.delay_ps, start)
+
+        issue_next()
+        return state
 
     @staticmethod
     def _issue_chain(lsu, ops: List[WorkloadOp]) -> Dict[str, object]:
@@ -252,7 +463,7 @@ class WorkloadDriver:
     # ------------------------------------------------------------------
     @staticmethod
     def _drive_supernode(
-        system, topology: Topology, ops: List[WorkloadOp]
+        system, topology: Topology, ops: List[WorkloadOp], controller=None
     ) -> Dict[str, Dict[str, float]]:
         fabric_name = topology.by_kind("supernode.fabric")[0].name
         supernode = system.node(fabric_name)
@@ -260,13 +471,18 @@ class WorkloadDriver:
         per_host: Dict[str, Dict[str, float]] = {
             host: {"accesses": 0.0, "latency_ps": 0.0} for host in hosts
         }
-        for op in ops:
-            host = hosts[op.stream % len(hosts)]
-            latency = supernode.coherent_access(
-                host, WINDOW_BASE + op.addr, exclusive=op.kind == "write"
+        if controller is None:
+            for op in ops:
+                host = hosts[op.stream % len(hosts)]
+                latency = supernode.coherent_access(
+                    host, WINDOW_BASE + op.addr, exclusive=op.kind == "write"
+                )
+                per_host[host]["accesses"] += 1.0
+                per_host[host]["latency_ps"] += float(latency)
+        else:
+            WorkloadDriver._drive_supernode_faulted(
+                supernode, fabric_name, topology, ops, controller, per_host
             )
-            per_host[host]["accesses"] += 1.0
-            per_host[host]["latency_ps"] += float(latency)
 
         series: Dict[str, Dict[str, float]] = {
             "accesses": {},
@@ -300,4 +516,90 @@ class WorkloadDriver:
             if (total_local + total_global)
             else 0.0
         )
+        if controller is not None:
+            series["naks"] = {
+                host: float(supernode.hosts[host].naks) for host in hosts
+            }
+            series["naks"]["all"] = float(
+                sum(supernode.hosts[h].naks for h in hosts)
+            )
         return series
+
+    @staticmethod
+    def _drive_supernode_faulted(
+        supernode, fabric_name: str, topology: Topology,
+        ops: List[WorkloadOp], controller, per_host,
+    ) -> None:
+        """Issue coherent ops under a fault plan, on a virtual clock.
+
+        Supernode accesses are synchronous, so fault windows are
+        evaluated against an accumulated clock (think time + paid
+        fabric latency + a fixed issue gap).  Down hosts NAK via
+        :class:`~repro.core.supernode.HostDownError`; flapped links and
+        a downed fabric raise
+        :class:`~repro.faults.controller.FaultActiveError`; degraded
+        mode turns both into bounded retry-with-backoff then drop.
+        With an empty plan every op takes the plain path and pays
+        exactly the plain latency, so the core series stay
+        bit-identical to a no-fault run.
+        """
+        from repro.core.supernode import HostDownError
+        from repro.faults.controller import FaultActiveError
+
+        hosts = sorted(supernode.hosts)
+        keys = {
+            host: tuple(sorted((host, fabric_name))) for host in hosts
+        }
+        retry = controller.retry
+        stats = controller.stats
+        t = 0
+        for op in ops:
+            host = hosts[op.stream % len(hosts)]
+            key = keys[host]
+            t += op.delay_ps + SUPERNODE_ISSUE_GAP_PS
+            stats.record_attempt()
+            attempt = 0
+            redeliver = 0
+            while True:
+                controller.apply_supernode(supernode, t)
+                try:
+                    if controller.link_down(key, t) or controller.node_down(
+                        fabric_name, t
+                    ):
+                        raise FaultActiveError(
+                            f"path {key[0]}--{key[1]} is down at {t}ps"
+                        )
+                    latency = supernode.coherent_access(
+                        host, WINDOW_BASE + op.addr,
+                        exclusive=op.kind == "write",
+                    )
+                except (HostDownError, FaultActiveError):
+                    if not controller.degraded:
+                        raise
+                    if attempt < retry.max_retries:
+                        stats.record_retry()
+                        t += retry.delay_ps(attempt)
+                        attempt += 1
+                        continue
+                    stats.record_drop()
+                    break
+                factor = controller.link_factor(key, t)
+                paid = latency if factor == 1.0 else int(round(latency * factor))
+                t += paid
+                if controller.corrupted(key, t):
+                    stats.record_corrupt()
+                    if not controller.degraded:
+                        raise FaultActiveError(
+                            f"message on {key[0]}--{key[1]} corrupted at {t}ps"
+                        )
+                    if redeliver < retry.max_retries:
+                        redeliver += 1
+                        stats.record_retry()
+                        continue  # retransmit pays another access
+                    stats.record_drop()
+                    break
+                per_host[host]["accesses"] += 1.0
+                per_host[host]["latency_ps"] += float(paid)
+                stats.record_completion(t)
+                break
+        controller.end_ps = t

@@ -62,6 +62,8 @@ def test_registry_covers_every_figure_and_table():
         "fanout2", "fanout4", "topo-scale",
         # workload-driven scenarios (repro.harness.workload_experiments)
         "workload-mix", "supernode-workload",
+        # failure scenarios (repro.harness.fault_experiments)
+        "fault-tolerance",
     }
     assert set(EXPERIMENTS) == expected
 

@@ -95,3 +95,38 @@ def test_credit_peak_tracking():
     pool.release()
     pool.acquire()
     assert pool.peak_in_use == 2
+
+
+# ------------------------- drop policy (faults) ------------------------
+def test_queue_drop_policy_counts_instead_of_raising():
+    queue = BoundedQueue(2, "lossy", policy="drop")
+    assert queue.push("a") is True
+    assert queue.push("b") is True
+    assert queue.push("c") is False
+    assert queue.dropped == 1
+    assert queue.total_pushed == 2
+    assert len(queue) == 2
+    queue.pop()
+    assert queue.push("d") is True
+    assert queue.dropped == 1
+
+
+def test_queue_default_policy_still_raises():
+    queue = BoundedQueue(1, "strict")
+    assert queue.policy == "raise"
+    assert queue.push("a") is True
+    with pytest.raises(QueueFullError):
+        queue.push("b")
+    assert queue.dropped == 0
+
+
+def test_queue_rejects_unknown_policy():
+    with pytest.raises(ValueError, match="policy"):
+        BoundedQueue(1, "x", policy="discard")
+
+
+def test_try_push_never_counts_drops():
+    queue = BoundedQueue(1, "probe", policy="drop")
+    queue.push("a")
+    assert not queue.try_push("b")
+    assert queue.dropped == 0
