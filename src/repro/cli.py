@@ -20,6 +20,7 @@ Usage::
     python -m repro fault show storm
     python -m repro fault validate examples/faults/*.json
     python -m repro sweep --preset quick --jobs 4
+    python -m repro sweep parallel-parity --sim-parallel auto
     python -m repro sweep fault-tolerance --backend serial
     python -m repro sweep --preset quick --backend queue --max-retries 4
     python -m repro sweep topology-scale --jobs 2
@@ -29,6 +30,7 @@ Usage::
     python -m repro report runs/quick
     python -m repro compare runs/a runs/b
     python -m repro bench --quick
+    python -m repro bench --quick --check --baseline benchmarks/BENCH_baseline.json
 """
 
 from __future__ import annotations
@@ -378,6 +380,10 @@ def _cmd_sweep(args: argparse.Namespace, out: IO[str]) -> int:
         # path; internal errors inside run_sweep below propagate.
         out.write(f"{exc.args[0] if exc.args else exc}\n")
         return 2
+    if args.sim_parallel is not None:
+        error = _apply_sim_parallel(sweep, args.sim_parallel, out)
+        if error:
+            return error
     out_dir = Path(args.out) if args.out else Path("runs") / sweep.name
     try:
         outcome = run_sweep(
@@ -398,6 +404,49 @@ def _cmd_sweep(args: argparse.Namespace, out: IO[str]) -> int:
     )
     out.write(f"results: {outcome.out_dir}\n")
     return 1 if outcome.failed else 0
+
+
+def _apply_sim_parallel(sweep, value: str, out: IO[str]) -> int:
+    """Inject a ``--sim-parallel`` override into a sweep's groups.
+
+    Applies to every group whose experiment accepts a ``sim_parallel``
+    parameter; groups that already pin or sweep it keep their own
+    values.  Returns a nonzero exit code on a malformed value, else 0.
+    """
+    from repro.harness.experiments import spec_parameters
+
+    text = value.strip().lower()
+    if text == "auto":
+        parsed: object = "auto"
+    else:
+        try:
+            parsed = int(text)
+        except ValueError:
+            parsed = -1
+        if not isinstance(parsed, int) or parsed < 0:
+            out.write(
+                f"--sim-parallel must be a non-negative integer or 'auto', "
+                f"got {value!r}\n"
+            )
+            return 2
+    key = sweep.SIM_PARALLEL_PARAM
+    applied = 0
+    for group in sweep.groups:
+        if key in group.params or key in group.grid:
+            continue
+        try:
+            accepted = spec_parameters(group.experiment)
+        except KeyError:
+            continue  # unknown experiment: validate() reports it properly
+        if key in accepted:
+            group.params[key] = parsed
+            applied += 1
+    if not applied:
+        out.write(
+            "note: --sim-parallel applied to no experiment group "
+            "(none accept sim_parallel, or all pin it already)\n"
+        )
+    return 0
 
 
 def _cmd_worker(args: argparse.Namespace, out: IO[str]) -> int:
@@ -436,6 +485,11 @@ def _cmd_report(args: argparse.Namespace, out: IO[str]) -> int:
     report = RunReport(store)
     out.write(report.markdown())
     out.write("\n")
+    workers = report.worker_markdown()
+    if workers:
+        out.write("\n")
+        out.write(workers)
+        out.write("\n")
     if report.failures:
         out.write("\nfailures:\n")
         for record in report.failures:
@@ -446,9 +500,24 @@ def _cmd_report(args: argparse.Namespace, out: IO[str]) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace, out: IO[str]) -> int:
+    import json
+
     from repro import bench
     from repro.cache.mesi import set_fast_mode
 
+    baseline = None
+    if args.check:
+        # Load (and fail on) the baseline *before* spending minutes
+        # benchmarking against a payload that turns out unreadable.
+        baseline_path = Path(args.baseline)
+        if not baseline_path.is_file():
+            out.write(f"perf gate: no baseline payload at {baseline_path}\n")
+            return 2
+        try:
+            baseline = json.loads(baseline_path.read_text())
+        except json.JSONDecodeError as exc:
+            out.write(f"perf gate: invalid baseline JSON: {exc}\n")
+            return 2
     # Validation stays ON by default so the recorded numbers (above
     # all sweep_quick.wall_s) measure exactly what `repro sweep` users
     # pay; --fast opts validated configs into the MESI fast mode.
@@ -462,7 +531,18 @@ def _cmd_bench(args: argparse.Namespace, out: IO[str]) -> int:
     path = bench.write_bench(payload, args.out or bench.DEFAULT_OUT)
     out.write(bench.render(payload))
     out.write(f"\nwrote {path}\n")
-    return 0
+    if baseline is None:
+        return 0
+    mismatch = bench.machine_mismatch(payload, baseline)
+    if mismatch:
+        # Cross-machine numbers are not comparable; a gate that fails on
+        # them would only report hardware churn, so warn and pass.
+        out.write(f"perf gate: skipped — {mismatch}\n")
+        return 0
+    outcome = bench.check_regression(payload, baseline, args.threshold)
+    out.write(bench.render_check(outcome, args.threshold))
+    out.write("\n")
+    return 1 if outcome["regressions"] else 0
 
 
 def _cmd_compare(args: argparse.Namespace, out: IO[str]) -> int:
@@ -578,6 +658,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="base exponential backoff between spec attempts in seconds "
         "(queue backend only; default 0.5)",
     )
+    sweep.add_argument(
+        "--sim-parallel", default=None, metavar="N",
+        help="windowed-parallel simulation worker count ('auto' or an "
+        "integer >= 0; 0 = legacy serial path) for every experiment "
+        "group that accepts sim_parallel and does not pin it",
+    )
 
     fault = sub.add_parser(
         "fault",
@@ -633,6 +719,21 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--fast", action="store_true",
         help="skip MESI transition validation (validated configs only)",
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="perf gate: compare throughput against --baseline and exit "
+        "nonzero on regression (skips with a warning when the baseline "
+        "came from a different machine shape)",
+    )
+    bench.add_argument(
+        "--baseline", default="benchmarks/BENCH_baseline.json",
+        help="baseline payload for --check "
+        "(default: benchmarks/BENCH_baseline.json)",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="fractional throughput drop that fails --check (default 0.15)",
     )
     return parser
 

@@ -151,7 +151,19 @@ class Dcoh(Component):
         addr = line_base(addr)
 
         def owned(result: DcohResult) -> None:
-            self.hmc.mark_modified(addr)
+            # Between the RFO fill and this upgrade, a concurrent miss
+            # from another stream can victimize the just-filled line —
+            # the array doesn't pin in-flight lines the way MSHRs do.
+            # Ownership was still granted, so re-install straight in M.
+            if self.hmc.peek(addr) is None:
+                _block, victim = self.hmc.fill(addr, MesiState.MODIFIED)
+                if victim is not None and victim[1].dirty:
+                    self.evictions_issued += 1
+                    self.llc.request(
+                        self.name, LlcOp.DIRTY_EVICT, victim[0], lambda: None
+                    )
+            else:
+                self.hmc.mark_modified(addr)
             on_done(result)
 
         self.read(addr, owned, exclusive=True, extra_rt_ps=extra_rt_ps)

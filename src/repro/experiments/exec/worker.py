@@ -4,9 +4,19 @@
 ``queue`` backend spawns and the ``repro worker <run-dir>`` CLI (which
 can join from any host sharing the run directory's filesystem).  Each
 iteration leases one spec, heartbeats the lease while the experiment
-runs, then either streams the finished record into the sharded
-:class:`~repro.experiments.store.ResultStore` or requeues the spec
-with backoff when the attempt failed and budget remains.
+runs, then either buffers the finished record for a batched append
+into the sharded :class:`~repro.experiments.store.ResultStore` or
+requeues the spec with backoff when the attempt failed and budget
+remains.
+
+Finished records drain in batches (:data:`FLUSH_BATCH` records, or
+whenever the queue goes idle) through
+:meth:`~repro.experiments.store.ResultStore.append_many` — one shard
+lock acquire and one buffered write per drained batch instead of one
+per record.  Buffered tasks stay leased (the heartbeat thread bumps
+them alongside the running spec) and are only marked complete *after*
+their records are durable, so a crash mid-buffer re-runs specs rather
+than losing results.
 """
 
 from __future__ import annotations
@@ -24,6 +34,12 @@ from repro.experiments.spec import ExperimentSpec
 from repro.experiments.store import ResultStore, StoredResult
 
 Progress = Optional[Callable[[str], None]]
+
+#: Finished records buffered before a batched store append.  Small
+#: enough that a crash re-runs at most a handful of specs, large enough
+#: to amortise the shard lock round-trip (see ``repro bench``'s
+#: ``result_store`` workload for the measured delta).
+FLUSH_BATCH = 8
 
 
 @dataclass
@@ -53,18 +69,31 @@ def _payload_label(payload) -> str:
 
 
 class _Heartbeat:
-    """Background thread bumping the lease mtime while a spec runs."""
+    """Background thread bumping lease mtimes while a spec runs.
 
-    def __init__(self, queue: WorkQueue, task: ClaimedTask, interval_s: float):
+    ``tasks`` is a callable returning every task whose lease must stay
+    live — the spec being executed plus any completed-but-unflushed
+    tasks buffered for a batched append.  Without the buffered tasks a
+    lease could expire mid-buffer and another worker would re-claim
+    (and re-run) an already-finished spec.
+    """
+
+    def __init__(
+        self,
+        queue: WorkQueue,
+        tasks: Callable[[], List[ClaimedTask]],
+        interval_s: float,
+    ):
         self._queue = queue
-        self._task = task
+        self._tasks = tasks
         self._interval_s = max(interval_s, 0.01)
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
 
     def _run(self) -> None:
         while not self._stop.wait(self._interval_s):
-            self._queue.heartbeat(self._task)
+            for task in self._tasks():
+                self._queue.heartbeat(task)
 
     def __enter__(self) -> "_Heartbeat":
         self._thread.start()
@@ -109,16 +138,43 @@ def run_worker(
     # experiment has run, so the registry import cost lands once.
     from repro.experiments.runner import _execute_spec
 
-    while max_specs is None or len(outcome.executed) < max_specs:
+    # Completed-but-unflushed (task, record) pairs awaiting a batched
+    # append.  Records become durable (and tasks complete) only at
+    # flush time; until then their leases stay heartbeaten.
+    pending: List[tuple] = []
+
+    def flush() -> None:
+        if not pending:
+            return
+        store.append_many([record for _, record in pending])
+        for task, record in pending:
+            queue.complete(task, asdict(record))
+            outcome.executed.append(record)
+        pending.clear()
+
+    current: List[ClaimedTask] = []
+
+    def leased_tasks() -> List[ClaimedTask]:
+        return current + [task for task, _ in pending]
+
+    while (
+        max_specs is None
+        or len(outcome.executed) + len(pending) < max_specs
+    ):
         task = queue.claim(outcome.worker_id, config.lease_timeout_s)
         if task is None:
+            flush()  # idle: make the backlog durable before waiting
             if queue.drained():
                 break  # every spec is completed (or queue torn down)
             time.sleep(poll_s)  # all remaining specs leased/backing off
             continue
         label = _payload_label(task.payload)
-        with _Heartbeat(queue, task, config.lease_timeout_s / 3):
-            raw = _execute_spec(task.payload)
+        current.append(task)
+        try:
+            with _Heartbeat(queue, leased_tasks, config.lease_timeout_s / 3):
+                raw = _execute_spec(task.payload)
+        finally:
+            current.clear()
         if raw["status"] == "error" and task.attempts + 1 < config.max_attempts:
             delay = queue.retry(task, config.backoff_s)
             outcome.retried += 1
@@ -129,11 +185,13 @@ def run_worker(
             )
             continue
         record = StoredResult(
-            timestamp=time.time(), sweep=config.sweep, **config.git, **raw
+            timestamp=time.time(), sweep=config.sweep,
+            worker=outcome.worker_id, **config.git, **raw
         )
-        store.append(record)
-        queue.complete(task, asdict(record))
-        outcome.executed.append(record)
+        pending.append((task, record))
+        if len(pending) >= FLUSH_BATCH:
+            flush()
         state = "ok     " if record.ok else "FAILED "
         note(f"{state} {label} ({record.wall_time_s:.2f}s)")
+    flush()
     return outcome

@@ -188,6 +188,11 @@ class SweepSpec:
     #: contract (inline plan dicts schema-validate in full).
     FAULT_PARAM = "fault"
 
+    #: Param key selecting the windowed-parallel simulation mode; values
+    #: must be a non-negative integer worker count or ``"auto"``,
+    #: checked up-front so a typo'd mode fails before any spec runs.
+    SIM_PARALLEL_PARAM = "sim_parallel"
+
     def validate(self) -> None:
         """Check every group against the experiment registry up-front."""
         from repro.harness.experiments import spec_parameters
@@ -213,6 +218,7 @@ class SweepSpec:
             self._validate_topology_refs(group)
             self._validate_workload_refs(group)
             self._validate_fault_refs(group)
+            self._validate_sim_parallel(group)
 
     @classmethod
     def _axis_values(cls, group: SweepGroup, param: str) -> List[object]:
@@ -279,6 +285,20 @@ class SweepSpec:
                 raise SpecError(
                     f"experiment {group.experiment!r}: {exc}"
                 ) from None
+
+    def _validate_sim_parallel(self, group: SweepGroup) -> None:
+        """Fail up-front on malformed ``sim_parallel`` axis values."""
+        for value in self._axis_values(group, self.SIM_PARALLEL_PARAM):
+            ok = (
+                isinstance(value, int)
+                and not isinstance(value, bool)
+                and value >= 0
+            ) or (isinstance(value, str) and value.strip().lower() == "auto")
+            if not ok:
+                raise SpecError(
+                    f"experiment {group.experiment!r}: sim_parallel must be "
+                    f"a non-negative integer or 'auto', got {value!r}"
+                )
 
     def expand(self) -> List[ExperimentSpec]:
         """Grid product x repeats -> flat, deterministically-seeded specs.

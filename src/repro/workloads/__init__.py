@@ -12,6 +12,9 @@ The layers:
 
 * :mod:`repro.workloads.base` — the ``Workload``/``WorkloadOp``
   abstraction, the registry, and ``"name(args)"`` reference parsing.
+* :mod:`repro.workloads.vectorized` — ``OpBatch``, the columnar numpy
+  form of a stream; batch-native generators expand straight to arrays
+  and ``ops()`` derives the scalar view from the batch.
 * :mod:`repro.workloads.generators` — the synthetic library
   (sequential/strided, uniform, Zipf, pointer-chase, producer-consumer,
   read/write mixes) plus the ``phases([...])`` composition combinator.
@@ -49,6 +52,12 @@ from repro.workloads.driver import (
 
 # Importing the library registers every built-in generator.
 from repro.workloads.generators import phases  # noqa: E402
+from repro.workloads.vectorized import (
+    KIND_READ,
+    KIND_WRITE,
+    OpBatch,
+    numpy_rng,
+)
 from repro.workloads.trace import (
     TRACE_SCHEMA,
     dump_trace,
@@ -76,6 +85,10 @@ __all__ = [
     "WorkloadDriverError",
     "WorkloadMeasurement",
     "phases",
+    "KIND_READ",
+    "KIND_WRITE",
+    "OpBatch",
+    "numpy_rng",
     "TRACE_SCHEMA",
     "dump_trace",
     "load_trace",

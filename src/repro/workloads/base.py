@@ -87,6 +87,10 @@ class WorkloadOp:
 #: source of randomness, which is what makes streams seed-deterministic.
 OpGenerator = Callable[[random.Random], Iterable[WorkloadOp]]
 
+#: ``generate_batch(rng) -> OpBatch`` — the columnar twin; when present
+#: it is the authoritative stream and ``ops()`` derives from it.
+BatchGenerator = Callable[[random.Random], "object"]
+
 
 @dataclass(frozen=True)
 class Workload:
@@ -96,12 +100,35 @@ class Workload:
     description: str = ""
     params: Dict[str, object] = field(default_factory=dict)
     generate: Optional[OpGenerator] = None
+    generate_batch: Optional[BatchGenerator] = None
 
     def ops(self, seed: int = 1234) -> List[WorkloadOp]:
-        """Expand the stream under ``seed``; same seed, same ops."""
+        """Expand the stream under ``seed``; same seed, same ops.
+
+        When the workload has a batch generator the scalar view is
+        derived from the batch, so the two representations are one
+        stream by construction.
+        """
+        if self.generate_batch is not None:
+            return self.batch(seed).to_ops()
         if self.generate is None:
             return []
         return list(self.generate(random.Random(seed)))
+
+    def batch(self, seed: int = 1234):
+        """Expand the stream under ``seed`` as a columnar ``OpBatch``.
+
+        Batch-native workloads expand directly; scalar-only ones (e.g.
+        the dependently-walked pointer chase) columnarize their op
+        list, so every workload has a batch view.
+        """
+        from repro.workloads.vectorized import OpBatch
+
+        if self.generate_batch is not None:
+            return self.generate_batch(random.Random(seed))
+        return OpBatch.from_ops(
+            list(self.generate(random.Random(seed))) if self.generate else []
+        )
 
     def describe(self, seed: int = 1234, preview: int = 8) -> str:
         """Multi-line rendering used by ``repro workload show``."""

@@ -16,9 +16,10 @@ registry entry, not a new harness.
 
 from __future__ import annotations
 
-import bisect
 import random
-from typing import Iterable, List, Sequence, Union
+from typing import List, Sequence, Union
+
+import numpy as np
 
 from repro.mem.address import CACHELINE
 from repro.workloads.base import (
@@ -26,6 +27,12 @@ from repro.workloads.base import (
     WorkloadOp,
     register_workload,
     resolve_workload,
+)
+from repro.workloads.vectorized import (
+    KIND_READ,
+    KIND_WRITE,
+    OpBatch,
+    numpy_rng,
 )
 
 #: Generators keep their footprints inside this many lines unless a
@@ -45,16 +52,14 @@ def sequential(count: Union[int, float] = 256, stride: Union[int, float] = 1) ->
     if count < 1 or stride < 1:
         raise ValueError("sequential(count, stride) needs count >= 1, stride >= 1")
 
-    def generate(_rng: random.Random) -> Iterable[WorkloadOp]:
-        return [
-            WorkloadOp("read", _line(i * stride)) for i in range(count)
-        ]
+    def generate_batch(_rng: random.Random) -> OpBatch:
+        return OpBatch.reads(np.arange(count, dtype=np.int64) * stride)
 
     return Workload(
         name=f"sequential({count},{stride})" if stride != 1 else f"sequential({count})",
         description=sequential.__doc__.splitlines()[0],
         params={"count": count, "stride": stride},
-        generate=generate,
+        generate_batch=generate_batch,
     )
 
 
@@ -67,16 +72,15 @@ def uniform(
     if count < 1 or lines < 1:
         raise ValueError("uniform(count, lines) needs count >= 1, lines >= 1")
 
-    def generate(rng: random.Random) -> Iterable[WorkloadOp]:
-        return [
-            WorkloadOp("read", _line(rng.randrange(lines))) for _ in range(count)
-        ]
+    def generate_batch(rng: random.Random) -> OpBatch:
+        ng = numpy_rng(rng)
+        return OpBatch.reads(ng.integers(0, lines, size=count, dtype=np.int64))
 
     return Workload(
         name=f"uniform({count},{lines})",
         description=uniform.__doc__.splitlines()[0],
         params={"count": count, "lines": lines},
-        generate=generate,
+        generate_batch=generate_batch,
     )
 
 
@@ -93,25 +97,18 @@ def zipf(
 
     # Precompute the rank CDF once per expansion; the stream itself only
     # draws uniforms, so the cost stays O(lines + count).
-    def generate(rng: random.Random) -> Iterable[WorkloadOp]:
-        weights = [1.0 / (rank + 1) ** alpha for rank in range(lines)]
-        total = sum(weights)
-        cdf: List[float] = []
-        acc = 0.0
-        for w in weights:
-            acc += w / total
-            cdf.append(acc)
-        ops = []
-        for _ in range(count):
-            rank = bisect.bisect_left(cdf, rng.random())
-            ops.append(WorkloadOp("read", _line(min(rank, lines - 1))))
-        return ops
+    def generate_batch(rng: random.Random) -> OpBatch:
+        ng = numpy_rng(rng)
+        weights = 1.0 / np.power(np.arange(1, lines + 1, dtype=np.float64), alpha)
+        cdf = np.cumsum(weights / weights.sum())
+        ranks = np.searchsorted(cdf, ng.random(count), side="left")
+        return OpBatch.reads(np.minimum(ranks, lines - 1).astype(np.int64))
 
     return Workload(
         name=f"zipf({count},{alpha:g})",
         description=zipf.__doc__.splitlines()[0],
         params={"count": count, "alpha": alpha, "lines": lines},
-        generate=generate,
+        generate_batch=generate_batch,
     )
 
 
@@ -124,7 +121,9 @@ def pointer_chase(
     if count < 1 or lines < 2:
         raise ValueError("pointer-chase(count, lines) needs count >= 1, lines >= 2")
 
-    def generate(rng: random.Random) -> Iterable[WorkloadOp]:
+    # Dependent walk — each address is the previous op's pointee, so
+    # this one stays scalar; Workload.batch() columnarizes the op list.
+    def generate(rng: random.Random) -> List[WorkloadOp]:
         order = list(range(lines))
         rng.shuffle(order)
         next_of = {order[i]: order[(i + 1) % lines] for i in range(lines)}
@@ -152,19 +151,27 @@ def producer_consumer(
     if count < 1 or lines < 1:
         raise ValueError("producer-consumer(count, lines) needs positive knobs")
 
-    def generate(_rng: random.Random) -> Iterable[WorkloadOp]:
-        ops = []
-        for i in range(count):
-            addr = _line(i % lines)
-            ops.append(WorkloadOp("write", addr, stream=0))
-            ops.append(WorkloadOp("read", addr, stream=1))
-        return ops
+    def generate_batch(_rng: random.Random) -> OpBatch:
+        # Interleaved write/read pairs over the shared lines: rows
+        # 2i/2i+1 are stream 0's write and stream 1's read of line i%lines.
+        line_idx = np.repeat(np.arange(count, dtype=np.int64) % lines, 2)
+        kinds = np.tile(
+            np.array([KIND_WRITE, KIND_READ], dtype=np.uint8), count
+        )
+        streams = np.tile(np.array([0, 1], dtype=np.int64), count)
+        return OpBatch(
+            kinds=kinds,
+            addrs=line_idx * CACHELINE,
+            sizes=np.full(2 * count, CACHELINE, dtype=np.int64),
+            delays=np.zeros(2 * count, dtype=np.int64),
+            streams=streams,
+        )
 
     return Workload(
         name=f"producer-consumer({count},{lines})",
         description=producer_consumer.__doc__.splitlines()[0],
         params={"count": count, "lines": lines},
-        generate=generate,
+        generate_batch=generate_batch,
     )
 
 
@@ -182,20 +189,25 @@ def rw_mix(
             "and read_fraction in [0, 1]"
         )
 
-    def generate(rng: random.Random) -> Iterable[WorkloadOp]:
-        return [
-            WorkloadOp(
-                "read" if rng.random() < read_fraction else "write",
-                _line(rng.randrange(lines)),
-            )
-            for _ in range(count)
-        ]
+    def generate_batch(rng: random.Random) -> OpBatch:
+        ng = numpy_rng(rng)
+        kinds = np.where(
+            ng.random(count) < read_fraction, KIND_READ, KIND_WRITE
+        ).astype(np.uint8)
+        line_idx = ng.integers(0, lines, size=count, dtype=np.int64)
+        return OpBatch(
+            kinds=kinds,
+            addrs=line_idx * CACHELINE,
+            sizes=np.full(count, CACHELINE, dtype=np.int64),
+            delays=np.zeros(count, dtype=np.int64),
+            streams=np.zeros(count, dtype=np.int64),
+        )
 
     return Workload(
         name=f"rw-mix({count},{read_fraction:g})",
         description=rw_mix.__doc__.splitlines()[0],
         params={"count": count, "read_fraction": read_fraction, "lines": lines},
-        generate=generate,
+        generate_batch=generate_batch,
     )
 
 
@@ -216,19 +228,19 @@ def phases(parts: Sequence[Union[str, Workload]], name: str = "") -> Workload:
     resolved = [resolve_workload(part) for part in parts]
     label = name or "phases(" + "+".join(w.name for w in resolved) + ")"
 
-    def generate(rng: random.Random) -> Iterable[WorkloadOp]:
+    def generate_batch(rng: random.Random) -> OpBatch:
         # Derive one sub-seed per phase from the composition's rng so
         # the whole stream is a pure function of the expansion seed.
-        ops: List[WorkloadOp] = []
-        for part in resolved:
-            ops.extend(part.ops(seed=rng.randrange(2**31)))
-        return ops
+        batches: List[OpBatch] = [
+            part.batch(seed=rng.randrange(2**31)) for part in resolved
+        ]
+        return batches[0].concat(batches[1:])
 
     return Workload(
         name=label,
         description="phase composition: " + " then ".join(w.name for w in resolved),
         params={"phases": [w.name for w in resolved]},
-        generate=generate,
+        generate_batch=generate_batch,
     )
 
 

@@ -554,3 +554,88 @@ def test_cli_worker_without_queue_exits_2(tmp_path):
     code, out = run_cli("worker", str(tmp_path / "empty"), "--wait-s", "0")
     assert code == 2
     assert "no work queue" in out and "--backend queue" in out
+
+
+# ----------------------- batched store appends ------------------------
+def test_append_many_matches_per_record_layout(tmp_path):
+    records = [_record(spec_hash=f"h{i:03d}") for i in range(20)]
+    loop_store = ResultStore(tmp_path / "loop")
+    for record in records:
+        loop_store.append(record)
+    batch_store = ResultStore(tmp_path / "batch")
+    batch_store.append_many(records)
+    loop_shards = {p.name: p.read_text() for p in loop_store.shard_paths()}
+    batch_shards = {p.name: p.read_text() for p in batch_store.shard_paths()}
+    assert batch_shards == loop_shards
+    for shard in batch_store.shard_paths():
+        assert (
+            batch_store.index_path(shard).read_text()
+            == loop_store.index_path(shard).read_text()
+        )
+
+
+def test_append_many_rolls_over_at_the_size_cap(tmp_path):
+    store = ResultStore(tmp_path, shard_max_bytes=400)
+    store.append_many([_record(spec_hash=f"h{i:03d}") for i in range(12)])
+    shards = store.shard_paths()
+    assert len(shards) > 1
+    assert [r.spec_hash for r in store.load()] == [f"h{i:03d}" for i in range(12)]
+    assert store.ok_hashes() == {f"h{i:03d}" for i in range(12)}
+
+
+def test_append_many_empty_batch_is_a_noop(tmp_path):
+    store = ResultStore(tmp_path)
+    assert store.append_many([]) == []
+    assert not store.exists()
+
+
+# ----------------------- per-worker reporting -------------------------
+def test_worker_records_carry_the_worker_id(tmp_path):
+    run_dir = tmp_path / "run"
+    _make_queue(run_dir, _payloads(tiny_sweep()))
+    run_worker(run_dir, worker_id="w-batch", poll_s=0.01)
+    records = ResultStore(run_dir).load()
+    assert records and all(r.worker == "w-batch" for r in records)
+
+
+def test_report_surfaces_worker_throughput(tmp_path):
+    from repro.experiments import RunReport
+
+    store = ResultStore(tmp_path)
+    store.append_many([
+        _record(spec_hash="a1", worker="w1", wall_time_s=2.0),
+        _record(spec_hash="a2", worker="w1", wall_time_s=2.0),
+        _record(spec_hash="b1", worker="w2", wall_time_s=1.0),
+    ])
+    report = RunReport(store)
+    stats = report.worker_stats
+    assert set(stats) == {"w1", "w2"}
+    assert stats["w1"]["specs"] == 2 and stats["w1"]["wall_s"] == 4.0
+    assert stats["w1"]["specs_per_sec"] == pytest.approx(0.5)
+    assert stats["w2"]["records_per_sec"] == pytest.approx(1.0)
+    table = report.worker_markdown()
+    assert "w1" in table and "specs/sec" in table
+
+
+def test_report_retried_specs_count_as_records_not_specs(tmp_path):
+    from repro.experiments import RunReport
+
+    store = ResultStore(tmp_path)
+    # Two stored records for one spec (a re-run): newest wins as the
+    # spec, both count toward the records rate.
+    store.append(_record(spec_hash="a1", worker="w1", wall_time_s=1.0,
+                         status="error"))
+    store.append(_record(spec_hash="a1", worker="w1", wall_time_s=1.0))
+    stats = RunReport(store).worker_stats
+    assert stats["w1"]["specs"] == 1
+    assert stats["w1"]["records"] == 2
+
+
+def test_report_without_worker_ids_renders_no_worker_table(tmp_path):
+    from repro.experiments import RunReport
+
+    store = ResultStore(tmp_path)
+    store.append(_record(spec_hash="a1"))
+    report = RunReport(store)
+    assert report.worker_stats == {}
+    assert report.worker_markdown() == ""
