@@ -29,6 +29,8 @@ Usage::
     python -m repro worker runs/quick
     python -m repro report runs/quick
     python -m repro compare runs/a runs/b
+    python -m repro sweep significance --repeats 10 --out runs/sig
+    python -m repro analyze runs/sig --html runs/sig/report.html
     python -m repro bench --quick
     python -m repro bench --quick --check --baseline benchmarks/BENCH_baseline.json
 """
@@ -384,6 +386,9 @@ def _cmd_sweep(args: argparse.Namespace, out: IO[str]) -> int:
         error = _apply_sim_parallel(sweep, args.sim_parallel, out)
         if error:
             return error
+    if args.repeats is not None and args.repeats < 1:
+        out.write(f"--repeats must be >= 1, got {args.repeats}\n")
+        return 2
     out_dir = Path(args.out) if args.out else Path("runs") / sweep.name
     try:
         outcome = run_sweep(
@@ -393,6 +398,7 @@ def _cmd_sweep(args: argparse.Namespace, out: IO[str]) -> int:
             force=args.force,
             progress=lambda line: out.write(line + "\n"),
             backend=backend,
+            repeats=args.repeats,
         )
     except (SpecError, LockHeldError) as exc:
         out.write(f"{exc}\n")
@@ -545,6 +551,39 @@ def _cmd_bench(args: argparse.Namespace, out: IO[str]) -> int:
     return 1 if outcome["regressions"] else 0
 
 
+def _cmd_analyze(args: argparse.Namespace, out: IO[str]) -> int:
+    from repro.experiments import ResultStore, RunAnalysis
+    from repro.experiments.stats import StatsError
+
+    store = ResultStore(args.run_dir)
+    if not store.exists():
+        out.write(f"no results found under {args.run_dir}\n")
+        return 2
+    try:
+        analysis = RunAnalysis(
+            store,
+            alpha=args.alpha,
+            min_repeats=args.min_repeats,
+            metrics=args.metric or None,
+        )
+    except StatsError as exc:
+        out.write(f"{exc}\n")
+        return 2
+    out.write(analysis.markdown())
+    out.write("\n")
+    if args.html:
+        from repro.experiments.plotting import PlotError
+        from repro.experiments.rendering import write_html_report
+
+        try:
+            path = write_html_report(analysis, args.html, plots=args.plots)
+        except PlotError as exc:
+            out.write(f"{exc}\n")
+            return 2
+        out.write(f"wrote {path}\n")
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace, out: IO[str]) -> int:
     from repro.experiments import ResultStore, compare_runs
 
@@ -664,6 +703,12 @@ def build_parser() -> argparse.ArgumentParser:
         "integer >= 0; 0 = legacy serial path) for every experiment "
         "group that accepts sim_parallel and does not pin it",
     )
+    sweep.add_argument(
+        "--repeats", type=int, default=None, metavar="N",
+        help="run every grid point N times with distinct deterministic "
+        "seeds (overrides the sweep file's own repeat count); 'repro "
+        "analyze' tests significance across the repeats",
+    )
 
     fault = sub.add_parser(
         "fault",
@@ -707,6 +752,33 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("run_a", help="baseline run directory")
     compare.add_argument("run_b", help="comparison run directory")
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="significance-test a repeat sweep: Mann-Whitney contrasts "
+        "with Holm correction and effect sizes, optional HTML report",
+    )
+    analyze.add_argument("run_dir", help="run directory written by 'sweep'")
+    analyze.add_argument(
+        "--alpha", type=float, default=0.05,
+        help="significance level after Holm correction (default 0.05)",
+    )
+    analyze.add_argument(
+        "--metric", action="append", default=None, metavar="NAME",
+        help="only test this metric (repeatable; default: all shared)",
+    )
+    analyze.add_argument(
+        "--min-repeats", type=int, default=2,
+        help="smallest group size worth testing (default 2)",
+    )
+    analyze.add_argument(
+        "--html", default=None, metavar="PATH",
+        help="also render a self-contained HTML report to PATH",
+    )
+    analyze.add_argument(
+        "--plots", choices=["svg", "matplotlib", "none"], default="svg",
+        help="distribution plot backend for --html (default: svg)",
+    )
+
     bench = sub.add_parser(
         "bench", help="run hot-path microbenchmarks, write BENCH_engine.json"
     )
@@ -749,6 +821,7 @@ _COMMANDS = {
     "worker": _cmd_worker,
     "report": _cmd_report,
     "compare": _cmd_compare,
+    "analyze": _cmd_analyze,
     "bench": _cmd_bench,
 }
 

@@ -14,16 +14,31 @@ Layers (each its own module):
   persisting every result with spec hash, wall time, git metadata,
   and per-shard indexes for streaming aggregation.
 * :mod:`repro.experiments.report` — lazily-computed ``RunReport``
-  (per-experiment MAPE, markdown summaries) and run-vs-run deltas.
+  (per-experiment MAPE, markdown summaries), run-vs-run deltas, and
+  the significance-testing ``RunAnalysis`` over repeat groups.
+* :mod:`repro.experiments.stats` — the pure numpy stats core:
+  Mann-Whitney U, Holm-Bonferroni, Cliff's delta/A12, seeded
+  bootstrap CIs.
+* :mod:`repro.experiments.plotting`/:mod:`repro.experiments.rendering`
+  — distribution plots (deterministic SVG, optional matplotlib) and
+  the self-contained HTML report renderer.
 * :mod:`repro.experiments.presets` — built-in sweeps (``quick``,
-  ``paper``).
+  ``paper``, ``significance``).
 
 The CLI exposes the subsystem as ``repro sweep``, ``repro worker``,
-``repro report``, and ``repro compare``.
+``repro report``, ``repro compare``, and ``repro analyze``.
 """
 
 from repro.experiments.presets import PRESETS, preset_sweep
-from repro.experiments.report import RunReport, compare_runs
+from repro.experiments.report import (
+    MetricComparison,
+    RunAnalysis,
+    RunReport,
+    SampleGroup,
+    analyze_run,
+    compare_runs,
+    group_samples,
+)
 from repro.experiments.runner import SweepOutcome, default_jobs, run_sweep
 from repro.experiments.spec import (
     ExperimentSpec,
@@ -50,8 +65,13 @@ from repro.experiments.exec import (
 __all__ = [
     "PRESETS",
     "preset_sweep",
+    "MetricComparison",
+    "RunAnalysis",
     "RunReport",
+    "SampleGroup",
+    "analyze_run",
     "compare_runs",
+    "group_samples",
     "SweepOutcome",
     "default_jobs",
     "run_sweep",

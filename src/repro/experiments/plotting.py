@@ -1,0 +1,166 @@
+"""Per-metric distribution plots for the HTML report.
+
+Two backends behind one interface:
+
+* ``svg`` (default) — hand-rolled strip plots emitted as plain SVG
+  text.  No dependencies, and byte-deterministic: the same samples
+  always render the same markup, so golden tests can hash the output.
+* ``matplotlib`` — box plots via matplotlib when it is installed.
+  The import is strictly lazy; requesting this backend without the
+  package raises :class:`PlotError` instead of ``ImportError`` at
+  module load, because the container image does not ship matplotlib.
+
+Both return ``(mime_type, payload_bytes)`` so the renderer can embed
+either inline SVG or a base64 PNG without caring which backend ran.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+PlotPayload = Tuple[str, bytes]
+
+#: Deterministic qualitative palette (Okabe-Ito, colourblind-safe).
+PALETTE = [
+    "#0072b2", "#d55e00", "#009e73", "#cc79a7",
+    "#e69f00", "#56b4e9", "#f0e442", "#999999",
+]
+
+
+class PlotError(RuntimeError):
+    """Raised when a plot backend is unavailable or misused."""
+
+
+def _fmt(value: float) -> str:
+    """Stable float formatting for SVG coordinates and labels."""
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+def _spread(values: Sequence[float]) -> Tuple[float, float]:
+    lo, hi = min(values), max(values)
+    if lo == hi:  # degenerate axis: pad so points stay visible
+        pad = abs(lo) * 0.05 or 1.0
+        return lo - pad, hi + pad
+    return lo, hi
+
+
+def strip_plot_svg(
+    metric: str,
+    groups: Dict[str, List[float]],
+    width: int = 640,
+    row_height: int = 36,
+) -> bytes:
+    """One horizontal strip (dot row) per group, shared x axis.
+
+    A strip plot shows every repeat rather than a summary, which is the
+    honest rendering for the n=5..30 sample sizes sweeps produce; the
+    median is marked with a vertical tick per row.
+    """
+    if not groups:
+        raise PlotError("strip_plot_svg needs at least one group")
+    names = sorted(groups)
+    all_values = [v for name in names for v in groups[name]]
+    if not all_values:
+        raise PlotError(f"no samples to plot for metric {metric!r}")
+    lo, hi = _spread(all_values)
+    margin_l, margin_r, margin_t, margin_b = 170, 20, 28, 24
+    plot_w = width - margin_l - margin_r
+    height = margin_t + row_height * len(names) + margin_b
+
+    def x_of(value: float) -> float:
+        return margin_l + (value - lo) / (hi - lo) * plot_w
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="monospace" font-size="12">',
+        f'<title>{escape(metric)}</title>',
+        f'<text x="{margin_l}" y="16" font-weight="bold">'
+        f'{escape(metric)}</text>',
+    ]
+    for index, name in enumerate(names):
+        values = groups[name]
+        colour = PALETTE[index % len(PALETTE)]
+        cy = margin_t + row_height * index + row_height / 2
+        parts.append(
+            f'<text x="8" y="{_fmt(cy + 4)}">{escape(name[:24])}</text>'
+        )
+        parts.append(
+            f'<line x1="{margin_l}" y1="{_fmt(cy)}" '
+            f'x2="{width - margin_r}" y2="{_fmt(cy)}" '
+            f'stroke="#dddddd"/>'
+        )
+        for value in sorted(values):
+            parts.append(
+                f'<circle cx="{_fmt(x_of(value))}" cy="{_fmt(cy)}" '
+                f'r="4" fill="{colour}" fill-opacity="0.55"/>'
+            )
+        ordered = sorted(values)
+        mid = len(ordered) // 2
+        median = (
+            ordered[mid] if len(ordered) % 2
+            else (ordered[mid - 1] + ordered[mid]) / 2
+        )
+        parts.append(
+            f'<line x1="{_fmt(x_of(median))}" y1="{_fmt(cy - 10)}" '
+            f'x2="{_fmt(x_of(median))}" y2="{_fmt(cy + 10)}" '
+            f'stroke="{colour}" stroke-width="2"/>'
+        )
+    axis_y = height - margin_b + 14
+    parts.append(
+        f'<text x="{margin_l}" y="{axis_y}">{_fmt(lo)}</text>'
+    )
+    parts.append(
+        f'<text x="{width - margin_r}" y="{axis_y}" '
+        f'text-anchor="end">{_fmt(hi)}</text>'
+    )
+    parts.append('</svg>')
+    return "".join(parts).encode("utf-8")
+
+
+def _matplotlib_plot(
+    metric: str, groups: Dict[str, List[float]]
+) -> PlotPayload:
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError as exc:  # pragma: no cover - image lacks matplotlib
+        raise PlotError(
+            "matplotlib backend requested but matplotlib is not "
+            "installed; use the default 'svg' backend instead"
+        ) from exc
+    names = sorted(groups)
+    fig, ax = plt.subplots(figsize=(6.4, 0.6 * len(names) + 1.2))
+    ax.boxplot(
+        [groups[name] for name in names],
+        vert=False, labels=names, showmeans=True,
+    )
+    ax.set_title(metric)
+    fig.tight_layout()
+    import io
+    buffer = io.BytesIO()
+    fig.savefig(buffer, format="png", dpi=96)
+    plt.close(fig)
+    return "image/png", buffer.getvalue()
+
+
+def _svg_plot(metric: str, groups: Dict[str, List[float]]) -> PlotPayload:
+    return "image/svg+xml", strip_plot_svg(metric, groups)
+
+
+_BACKENDS = {
+    "svg": _svg_plot,
+    "matplotlib": _matplotlib_plot,
+}
+
+
+def get_plotter(backend: str = "svg"):
+    """Return ``plot(metric, groups) -> (mime, payload)`` for a backend."""
+    try:
+        return _BACKENDS[backend]
+    except KeyError:
+        known = ", ".join(sorted(_BACKENDS))
+        raise PlotError(
+            f"unknown plot backend {backend!r} (known: {known})"
+        ) from None

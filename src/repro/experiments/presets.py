@@ -161,6 +161,26 @@ PRESETS: Dict[str, dict] = {
             },
         ],
     },
+    "significance": {
+        # The statistical-analysis acceptance scenario: fanout(4) vs
+        # fanout(8) under a skewed workload, 10 repeats with distinct
+        # injected seeds per repeat, so `repro analyze` has real
+        # distributions to contrast.  streams=8 so both fan-outs'
+        # LSU populations are actually exercised — with fewer streams
+        # the extra devices idle and the topologies tie exactly.
+        "name": "significance",
+        "repeats": 10,
+        "base_seed": 1234,
+        "experiments": [
+            {
+                "experiment": "workload-mix",
+                "params": {"workload": "zipf(192,1.1)", "streams": 8},
+                "grid": {
+                    "topology": ["fanout(4)", "fanout(8)"],
+                },
+            },
+        ],
+    },
     "paper": {
         "name": "paper",
         "repeats": 1,

@@ -1,0 +1,222 @@
+"""HTML report rendering over the lazily-computed analysis context.
+
+Follows the fuzzbench ``rendering.py`` shape: the renderer takes a
+:class:`~repro.experiments.report.RunAnalysis` (whose properties are
+``cached_property``-lazy) and only the pieces the template actually
+references get computed.  Plots are produced by
+:mod:`repro.experiments.plotting` and embedded inline — SVG as markup,
+PNG as base64 ``data:`` URIs — so the report is a single
+self-contained file that survives being mailed around.
+
+Everything is deterministic for a given store: iteration orders are
+sorted, the default plot backend is byte-stable SVG, and no timestamps
+are stamped into the document.  Golden tests hash the output.
+"""
+from __future__ import annotations
+
+import base64
+import html
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.experiments.plotting import PlotError, get_plotter
+from repro.experiments.report import (
+    MetricComparison,
+    RunAnalysis,
+    SampleGroup,
+)
+
+_STYLE = """
+body { font-family: sans-serif; margin: 2em auto; max-width: 60em;
+       color: #1a1a1a; }
+h1, h2 { border-bottom: 1px solid #ccc; padding-bottom: 0.2em; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #bbb; padding: 0.3em 0.7em; text-align: left; }
+th { background: #f0f0f0; }
+tr.significant td { background: #e7f4e7; }
+.verdict { font-weight: bold; }
+.note { color: #555; font-style: italic; }
+figure { margin: 1em 0; }
+""".strip()
+
+
+def _cell(value: object) -> str:
+    return f"<td>{html.escape(str(value))}</td>"
+
+
+def _table(headers: List[str], rows: List[List[object]],
+           row_classes: Optional[List[str]] = None) -> str:
+    head = "".join(f"<th>{html.escape(h)}</th>" for h in headers)
+    body: List[str] = []
+    for index, row in enumerate(rows):
+        cls = row_classes[index] if row_classes else ""
+        attr = f' class="{cls}"' if cls else ""
+        body.append(f"<tr{attr}>" + "".join(_cell(c) for c in row) + "</tr>")
+    return (
+        f"<table><thead><tr>{head}</tr></thead>"
+        f"<tbody>{''.join(body)}</tbody></table>"
+    )
+
+
+def _embed_plot(mime: str, payload: bytes) -> str:
+    if mime == "image/svg+xml":
+        return payload.decode("utf-8")
+    encoded = base64.b64encode(payload).decode("ascii")
+    return f'<img src="data:{mime};base64,{encoded}" alt="distribution"/>'
+
+
+def _groups_section(groups: List[SampleGroup], min_repeats: int) -> str:
+    rows = [
+        [g.label, g.experiment, g.n,
+         "yes" if g.n >= min_repeats else f"no (n<{min_repeats})"]
+        for g in groups
+    ]
+    if not rows:
+        rows = [["-", "no successful records", 0, "-"]]
+    return "<h2>Sample groups</h2>" + _table(
+        ["group", "experiment", "repeats", "testable"], rows
+    )
+
+
+def _comparisons_section(comparisons: List[MetricComparison],
+                         alpha: float) -> str:
+    rows: List[List[object]] = []
+    classes: List[str] = []
+    for c in comparisons:
+        rows.append([
+            c.experiment, c.metric, c.group_a, c.group_b,
+            f"{c.n_a}/{c.n_b}", f"{c.median_a:.4g}", f"{c.median_b:.4g}",
+            f"{c.a12:.2f}", f"{c.delta:+.2f}",
+            f"[{c.ci_low:.4g}, {c.ci_high:.4g}]",
+            f"{c.p_value:.2g}", f"{c.p_adjusted:.2g}", c.verdict,
+        ])
+        classes.append("significant" if c.significant else "")
+    section = (
+        f"<h2>Pairwise contrasts (Mann&ndash;Whitney, "
+        f"Holm-corrected, &alpha;={alpha:g})</h2>"
+    )
+    section += _table(
+        ["experiment", "metric", "A", "B", "n", "median A", "median B",
+         "A12", "delta", "CI(median diff)", "p", "p(Holm)", "verdict"],
+        rows, classes,
+    )
+    return section
+
+
+def _verdicts_section(analysis: RunAnalysis) -> str:
+    if not analysis.significant:
+        return (
+            '<p class="note">No contrast survives Holm&ndash;Bonferroni '
+            f"correction at &alpha;={analysis.alpha:g}: observed deltas "
+            "are consistent with noise.</p>"
+        )
+    items = []
+    for c in analysis.significant:
+        direction = "&gt;" if c.a12 > 0.5 else "&lt;"
+        items.append(
+            f"<li><span class=\"verdict\">{html.escape(c.metric)}</span>: "
+            f"{html.escape(c.group_a)} {direction} {html.escape(c.group_b)} "
+            f"(p={c.p_adjusted:.2g} Holm-corrected, A12={c.a12:.2f}, "
+            f"over {c.n_a}/{c.n_b} repeats)</li>"
+        )
+    return "<h2>Verdicts</h2><ul>" + "".join(items) + "</ul>"
+
+
+def _plots_section(analysis: RunAnalysis, backend: str) -> str:
+    """One distribution plot per (experiment, varying metric)."""
+    if backend == "none":
+        return ""
+    plot = get_plotter(backend)
+    constant = set(analysis.constant_metrics)
+    by_experiment = {}
+    for group in analysis.testable_groups:
+        by_experiment.setdefault(group.experiment, []).append(group)
+    figures: List[str] = []
+    for experiment in sorted(by_experiment):
+        groups = by_experiment[experiment]
+        metrics = sorted(
+            {m for g in groups for m in g.metrics} - constant
+        )
+        if analysis.metric_filter is not None:
+            metrics = [m for m in metrics if m in analysis.metric_filter]
+        for metric in metrics:
+            samples = {
+                g.label: g.metrics[metric]
+                for g in groups if metric in g.metrics
+            }
+            if not samples:
+                continue
+            try:
+                mime, payload = plot(f"{experiment}: {metric}", samples)
+            except PlotError:
+                continue
+            figures.append(f"<figure>{_embed_plot(mime, payload)}</figure>")
+    if not figures:
+        return ""
+    return "<h2>Distributions</h2>" + "".join(figures)
+
+
+def render_html_report(
+    analysis: RunAnalysis,
+    plots: str = "svg",
+) -> str:
+    """Render a :class:`RunAnalysis` to one self-contained HTML page."""
+    title = f"Analysis: {analysis.name}"
+    sections: List[str] = [_groups_section(analysis.groups,
+                                           analysis.min_repeats)]
+    if not analysis.testable_groups:
+        sections.append(
+            '<p class="note">No group has &ge; 2 repeats: every stored '
+            "value is a point estimate, so this run declines to test for "
+            "significance. Re-sweep with <code>--repeats N</code> "
+            "(N &ge; 2) to make deltas falsifiable.</p>"
+        )
+    else:
+        if analysis.comparisons:
+            sections.append(_comparisons_section(analysis.comparisons,
+                                                 analysis.alpha))
+            sections.append(_verdicts_section(analysis))
+        else:
+            sections.append(
+                '<p class="note">Testable groups share no varying '
+                "metrics: nothing to contrast.</p>"
+            )
+        sections.append(_plots_section(analysis, plots))
+        if analysis.constant_metrics:
+            names = ", ".join(
+                f"<code>{html.escape(m)}</code>"
+                for m in analysis.constant_metrics
+            )
+            sections.append(
+                f'<p class="note">Constant across all repeats '
+                f"(excluded from testing): {names}</p>"
+            )
+    if analysis.declined:
+        names = ", ".join(
+            html.escape(g.label) for g in analysis.declined
+        )
+        sections.append(
+            f'<p class="note">Declined (fewer than '
+            f"{analysis.min_repeats} repeats): {names}</p>"
+        )
+    body = "".join(s for s in sections if s)
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8"/>'
+        f"<title>{html.escape(title)}</title>"
+        f"<style>{_STYLE}</style></head>"
+        f"<body><h1>{html.escape(title)}</h1>{body}</body></html>\n"
+    )
+
+
+def write_html_report(
+    analysis: RunAnalysis,
+    path: Union[str, Path],
+    plots: str = "svg",
+) -> Path:
+    """Render and write the HTML report; returns the written path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_html_report(analysis, plots=plots),
+                      encoding="utf-8")
+    return target

@@ -139,6 +139,7 @@ def run_sweep(
     force: bool = False,
     progress: Optional[Callable[[str], None]] = None,
     backend: Union[str, ExecutorBackend, None] = None,
+    repeats: Optional[int] = None,
 ) -> SweepOutcome:
     """Expand ``sweep``, run uncached specs via ``backend``, persist.
 
@@ -150,7 +151,13 @@ def run_sweep(
     explicit ``jobs`` is honoured uncapped (``0`` means "no local
     workers" and only makes sense with the ``queue`` backend, where
     external ``repro worker`` processes supply the labour).
+    ``repeats`` (if given) overrides the sweep's own repeat count —
+    the ``--repeats N`` CLI path — and must be >= 1.
     """
+    if repeats is not None:
+        if repeats < 1:
+            raise SpecError(f"repeats must be >= 1, got {repeats}")
+        sweep.repeats = repeats
     sweep.validate()
     specs = sweep.expand()
     if isinstance(backend, ExecutorBackend):

@@ -193,6 +193,12 @@ class SweepSpec:
     #: checked up-front so a typo'd mode fails before any spec runs.
     SIM_PARALLEL_PARAM = "sim_parallel"
 
+    #: Param key carrying the experiment's RNG seed.  Pinning or
+    #: sweeping it is allowed (ints only), and doing so disables the
+    #: automatic per-repeat seed injection for that group — explicit
+    #: seeds win over derived ones.
+    SEED_PARAM = "seed"
+
     def validate(self) -> None:
         """Check every group against the experiment registry up-front."""
         from repro.harness.experiments import spec_parameters
@@ -219,6 +225,7 @@ class SweepSpec:
             self._validate_workload_refs(group)
             self._validate_fault_refs(group)
             self._validate_sim_parallel(group)
+            self._validate_seed_axis(group)
 
     @classmethod
     def _axis_values(cls, group: SweepGroup, param: str) -> List[object]:
@@ -300,13 +307,46 @@ class SweepSpec:
                     f"a non-negative integer or 'auto', got {value!r}"
                 )
 
+    def _validate_seed_axis(self, group: SweepGroup) -> None:
+        """Fail up-front on non-integer ``seed`` axis values."""
+        for value in self._axis_values(group, self.SEED_PARAM):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise SpecError(
+                    f"experiment {group.experiment!r}: seed must be an "
+                    f"integer, got {value!r}"
+                )
+
+    def _seed_param_experiments(self) -> set:
+        """Experiments in this sweep whose signature accepts ``seed``."""
+        from repro.harness.experiments import spec_parameters
+
+        accepting = set()
+        for group in self.groups:
+            try:
+                accepted = spec_parameters(group.experiment)
+            except KeyError:
+                continue  # unknown experiment: validate() reports it
+            if self.SEED_PARAM in accepted:
+                accepting.add(group.experiment)
+        return accepting
+
     def expand(self) -> List[ExperimentSpec]:
         """Grid product x repeats -> flat, deterministically-seeded specs.
 
         Seeds derive from the spec content (not its position in the
         expansion), so reordering groups in a sweep file does not
         invalidate the cache.
+
+        With ``repeats > 1``, the derived per-repeat seed is also
+        *injected* as a ``seed`` param for experiments that accept one
+        (and don't pin or sweep it themselves), so each repeat draws a
+        distinct deterministic sample instead of re-measuring the same
+        point.  Single-repeat expansion never injects, keeping existing
+        sweeps' spec hashes — and their cached results — untouched.
         """
+        inject = (
+            self._seed_param_experiments() if self.repeats > 1 else set()
+        )
         specs: List[ExperimentSpec] = []
         for group in self.groups:
             for combo in group.combos():
@@ -319,10 +359,17 @@ class SweepSpec:
                     seed = (
                         self.base_seed * 1_000_003 + zlib.crc32(content.encode())
                     ) % 2**31
+                    params = combo
+                    if (
+                        group.experiment in inject
+                        and self.SEED_PARAM not in combo
+                    ):
+                        params = dict(combo)
+                        params[self.SEED_PARAM] = seed
                     specs.append(
                         ExperimentSpec(
                             experiment=group.experiment,
-                            params=combo,
+                            params=params,
                             repeat=repeat,
                             seed=seed,
                         )

@@ -80,6 +80,36 @@ class StoredResult:
     def ok(self) -> bool:
         return self.status == "ok"
 
+    @property
+    def group_key(self) -> str:
+        """Spec identity modulo the seed axis — the repeat-group id.
+
+        Repeat-aware sweeps vary only ``seed`` (and the repeat index)
+        between re-executions of one scenario, so records sharing this
+        key are statistical repeats of the same measurement; the
+        analysis layer aggregates samples per key.  Canonical JSON so
+        the key is stable across param insertion order.
+        """
+        params = {
+            k: self.params[k] for k in sorted(self.params) if k != "seed"
+        }
+        return json.dumps(
+            {"experiment": self.experiment, "params": params},
+            sort_keys=True,
+        )
+
+    @property
+    def group_label(self) -> str:
+        """Human-readable form of :attr:`group_key`.
+
+        ``experiment[k=v,...]`` with the seed axis elided, matching the
+        spec-label format used in sweep progress lines.
+        """
+        params = ",".join(
+            f"{k}={self.params[k]}" for k in sorted(self.params) if k != "seed"
+        )
+        return f"{self.experiment}[{params}]" if params else self.experiment
+
 
 class LoadResult(List[StoredResult]):
     """``load()``'s list of records plus its corrupt-line count."""

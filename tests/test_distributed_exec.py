@@ -20,6 +20,7 @@ from cli_helpers import run_cli
 from repro.experiments import (
     ResultStore,
     RunReport,
+    SpecError,
     StoredResult,
     SweepSpec,
     default_jobs,
@@ -639,3 +640,83 @@ def test_report_without_worker_ids_renders_no_worker_table(tmp_path):
     report = RunReport(store)
     assert report.worker_stats == {}
     assert report.worker_markdown() == ""
+
+
+# ---------------------- Repeat determinism -----------------------------
+REPEAT_SWEEP = {
+    "name": "repeat-det",
+    "repeats": 3,
+    "experiments": [
+        {
+            "experiment": "workload-mix",
+            "params": {
+                "workload": "mixed(16)",
+                "topology": "fanout-2",
+                "streams": 2,
+            },
+        },
+    ],
+}
+
+
+def _repeat_records(run_dir):
+    """(repeat, seed) -> (status, canonical series) for every record."""
+    return {
+        (r.repeat, r.seed): (r.status, json.dumps(r.series, sort_keys=True))
+        for r in ResultStore(run_dir).latest().values()
+    }
+
+
+@needs_fork
+def test_repeats_identical_across_backends(tmp_path):
+    # --repeats 3 must yield the same per-repeat records whichever
+    # executor ran them: the seed lives in the spec, not the worker.
+    backends = {
+        "serial": "serial",
+        "pool": "pool",
+        "queue": QueueBackend(poll_s=0.01),
+    }
+    results = {}
+    for name, backend in backends.items():
+        outcome = run_sweep(
+            SweepSpec.from_dict(REPEAT_SWEEP),
+            tmp_path / name,
+            jobs=2,
+            backend=backend,
+        )
+        assert outcome.ok and outcome.total == 3
+        results[name] = _repeat_records(tmp_path / name)
+    assert results["serial"] == results["pool"] == results["queue"]
+    # Three distinct injected seeds, three distinct sample series.
+    records = results["serial"]
+    assert len(records) == 3
+    assert len({seed for _, seed in records}) == 3
+    assert len({series for _, series in records.values()}) == 3
+
+
+def test_repeat_rerun_hits_cache(tmp_path):
+    # Re-running the same repeat sweep re-executes nothing: repeats
+    # are content-addressed like any other spec.
+    first = run_sweep(
+        SweepSpec.from_dict(REPEAT_SWEEP), tmp_path / "run", backend="serial"
+    )
+    assert first.ok and len(first.executed) == 3
+    second = run_sweep(
+        SweepSpec.from_dict(REPEAT_SWEEP), tmp_path / "run", backend="serial"
+    )
+    assert second.ok and second.cached == 3 and not second.executed
+
+
+def test_run_sweep_repeats_override(tmp_path):
+    sweep = SweepSpec.from_dict(dict(REPEAT_SWEEP, repeats=1))
+    outcome = run_sweep(
+        sweep, tmp_path / "run", backend="serial", repeats=2
+    )
+    assert outcome.ok and outcome.total == 2
+    with pytest.raises(SpecError, match="repeats"):
+        run_sweep(
+            SweepSpec.from_dict(REPEAT_SWEEP),
+            tmp_path / "bad",
+            backend="serial",
+            repeats=0,
+        )
