@@ -27,6 +27,11 @@ Usage::
     python -m repro sweep my_sweep.json --out runs/mine
     python -m repro sweep --preset quick --backend queue --jobs 2
     python -m repro worker runs/quick
+    python -m repro status runs/quick
+    python -m repro status runs/quick --watch 2
+    python -m repro timeline runs/quick --out trace.json
+    python -m repro run fig13 --profile
+    python -m repro sweep --preset quick --profile
     python -m repro report runs/quick
     python -m repro compare runs/a runs/b
     python -m repro sweep significance --repeats 10 --out runs/sig
@@ -87,6 +92,17 @@ def _cmd_run(args: argparse.Namespace, out: IO[str]) -> int:
             "(see 'repro run --list' for descriptions)\n"
         )
         return 2
+    if args.profile:
+        from repro.obs import profile
+
+        with profile() as profiler:
+            for name in names:
+                result = run_experiment(name)
+                out.write(result.text)
+                out.write("\n\n")
+        out.write(profiler.render())
+        out.write("\n")
+        return 0
     for name in names:
         result = run_experiment(name)
         out.write(result.text)
@@ -399,6 +415,8 @@ def _cmd_sweep(args: argparse.Namespace, out: IO[str]) -> int:
             progress=lambda line: out.write(line + "\n"),
             backend=backend,
             repeats=args.repeats,
+            telemetry=not args.no_telemetry,
+            profile=args.profile,
         )
     except (SpecError, LockHeldError) as exc:
         out.write(f"{exc}\n")
@@ -481,6 +499,53 @@ def _cmd_worker(args: argparse.Namespace, out: IO[str]) -> int:
     return 1 if outcome.failed else 0
 
 
+def _cmd_status(args: argparse.Namespace, out: IO[str]) -> int:
+    import time as _time
+
+    from repro.experiments import ResultStore
+    from repro.obs import collect_status, render_status
+
+    run_dir = Path(args.run_dir)
+    store = ResultStore(run_dir)
+    from repro.obs.telemetry import telemetry_dir
+
+    if (
+        not store.exists()
+        and not store.sweep_path.is_file()
+        and not telemetry_dir(run_dir).is_dir()
+    ):
+        out.write(f"no run found under {args.run_dir}\n")
+        return 2
+    while True:
+        status = collect_status(run_dir)
+        out.write(render_status(status))
+        out.write("\n")
+        if args.watch is None or status["finished"]:
+            return 0
+        _time.sleep(args.watch)
+        out.write("\n")
+
+
+def _cmd_timeline(args: argparse.Namespace, out: IO[str]) -> int:
+    from repro.obs import write_timeline
+    from repro.obs.telemetry import read_events
+
+    run_dir = Path(args.run_dir)
+    events, skipped = read_events(run_dir)
+    if not events:
+        out.write(
+            f"no telemetry under {args.run_dir} — was the sweep run with "
+            f"telemetry off (--no-telemetry), or before it existed?\n"
+        )
+        return 2
+    path = write_timeline(run_dir, args.out)
+    out.write(f"wrote {path}: {len(events)} telemetry event(s)")
+    if skipped:
+        out.write(f" ({skipped} malformed line(s) skipped)")
+    out.write("\n")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace, out: IO[str]) -> int:
     from repro.experiments import ResultStore, RunReport
 
@@ -495,6 +560,11 @@ def _cmd_report(args: argparse.Namespace, out: IO[str]) -> int:
     if workers:
         out.write("\n")
         out.write(workers)
+        out.write("\n")
+    profile = report.profile_markdown()
+    if profile:
+        out.write("\n")
+        out.write(profile)
         out.write("\n")
     if report.failures:
         out.write("\nfailures:\n")
@@ -616,6 +686,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true",
         help="list experiment ids with descriptions instead of running",
     )
+    run.add_argument(
+        "--profile", action="store_true",
+        help="profile the simulator while running: events/sec plus "
+        "per-component event and sampled callback-time attribution",
+    )
 
     sub.add_parser("info", help="show calibrated profile summaries")
 
@@ -709,6 +784,17 @@ def build_parser() -> argparse.ArgumentParser:
         "seeds (overrides the sweep file's own repeat count); 'repro "
         "analyze' tests significance across the repeats",
     )
+    sweep.add_argument(
+        "--no-telemetry", action="store_true",
+        help="do not write lifecycle events to <run-dir>/telemetry/ "
+        "(disables 'repro status'/'repro timeline' for this run)",
+    )
+    sweep.add_argument(
+        "--profile", action="store_true",
+        help="run every spec under the simulator profiler and persist "
+        "per-component attribution on its record ('repro report' "
+        "aggregates it)",
+    )
 
     fault = sub.add_parser(
         "fault",
@@ -743,6 +829,28 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument(
         "--wait-s", type=float, default=10.0,
         help="how long to wait for the scheduler to create the queue",
+    )
+
+    status = sub.add_parser(
+        "status",
+        help="live view of a run directory: progress, queue depth, "
+        "per-worker throughput, retries, ETA",
+    )
+    status.add_argument("run_dir", help="run directory of a sweep")
+    status.add_argument(
+        "--watch", type=float, default=None, metavar="S",
+        help="re-render every S seconds until the run finishes",
+    )
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="export a run's telemetry as Chrome trace-event JSON "
+        "(load in Perfetto or chrome://tracing)",
+    )
+    timeline.add_argument("run_dir", help="run directory of a sweep")
+    timeline.add_argument(
+        "--out", default=None,
+        help="output path (default: <run-dir>/timeline.json)",
     )
 
     report = sub.add_parser("report", help="summarise a stored sweep run")
@@ -819,6 +927,8 @@ _COMMANDS = {
     "fault": _cmd_fault,
     "sweep": _cmd_sweep,
     "worker": _cmd_worker,
+    "status": _cmd_status,
+    "timeline": _cmd_timeline,
     "report": _cmd_report,
     "compare": _cmd_compare,
     "analyze": _cmd_analyze,

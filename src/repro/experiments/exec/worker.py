@@ -76,6 +76,10 @@ class _Heartbeat:
     tasks buffered for a batched append.  Without the buffered tasks a
     lease could expire mid-buffer and another worker would re-claim
     (and re-run) an already-finished spec.
+
+    ``on_beat`` (if given) is invoked with the live lease count after
+    each round — the telemetry ``heartbeat`` hook.  It runs on this
+    thread, so it must be thread-safe (the telemetry writer is).
     """
 
     def __init__(
@@ -83,17 +87,22 @@ class _Heartbeat:
         queue: WorkQueue,
         tasks: Callable[[], List[ClaimedTask]],
         interval_s: float,
+        on_beat: Optional[Callable[[int], None]] = None,
     ):
         self._queue = queue
         self._tasks = tasks
         self._interval_s = max(interval_s, 0.01)
+        self._on_beat = on_beat
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
 
     def _run(self) -> None:
         while not self._stop.wait(self._interval_s):
-            for task in self._tasks():
+            tasks = self._tasks()
+            for task in tasks:
                 self._queue.heartbeat(task)
+            if self._on_beat is not None:
+                self._on_beat(len(tasks))
 
     def __enter__(self) -> "_Heartbeat":
         self._thread.start()
@@ -129,6 +138,20 @@ def run_worker(
     config = queue.load_config()
     store = ResultStore(run_dir)
     outcome = WorkerOutcome(worker_id=worker_id or default_worker_id())
+
+    # Telemetry is run-scoped: the scheduler creates <run-dir>/telemetry/
+    # when it is on, and attach() returns None when it is absent, so an
+    # externally launched worker needs no flag of its own.
+    from repro.obs.telemetry import TelemetryWriter
+
+    emitter = TelemetryWriter.attach(Path(run_dir), outcome.worker_id)
+    worker_start = time.perf_counter()
+
+    def emit(kind: str, **fields: object) -> None:
+        if emitter is not None:
+            emitter.emit(kind, worker=outcome.worker_id, **fields)
+
+    emit("worker_started")
 
     def note(line: str) -> None:
         if progress is not None:
@@ -169,15 +192,27 @@ def run_worker(
             time.sleep(poll_s)  # all remaining specs leased/backing off
             continue
         label = _payload_label(task.payload)
+        emit("task_claimed", task_id=task.spec_hash, label=label)
         current.append(task)
         try:
-            with _Heartbeat(queue, leased_tasks, config.lease_timeout_s / 3):
+            with _Heartbeat(
+                queue,
+                leased_tasks,
+                config.lease_timeout_s / 3,
+                on_beat=lambda leased: emit("heartbeat", leased=leased),
+            ):
                 raw = _execute_spec(task.payload)
         finally:
             current.clear()
         if raw["status"] == "error" and task.attempts + 1 < config.max_attempts:
             delay = queue.retry(task, config.backoff_s)
             outcome.retried += 1
+            emit(
+                "task_retried",
+                task_id=task.spec_hash,
+                attempt=task.attempts + 1,
+                error=str(raw.get("error", ""))[:500],
+            )
             note(
                 f"retry   {label} "
                 f"(attempt {task.attempts + 1}/{config.max_attempts}, "
@@ -189,9 +224,21 @@ def run_worker(
             worker=outcome.worker_id, **config.git, **raw
         )
         pending.append((task, record))
+        emit(
+            "task_finished",
+            task_id=task.spec_hash,
+            status=record.status,
+            wall_s=record.wall_time_s,
+            label=label,
+        )
         if len(pending) >= FLUSH_BATCH:
             flush()
         state = "ok     " if record.ok else "FAILED "
         note(f"{state} {label} ({record.wall_time_s:.2f}s)")
     flush()
+    emit(
+        "worker_finished",
+        completed=len(outcome.executed),
+        wall_s=time.perf_counter() - worker_start,
+    )
     return outcome

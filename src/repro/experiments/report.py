@@ -216,6 +216,52 @@ class RunReport:
             title="Worker throughput",
         )
 
+    def profile_markdown(self, limit: int = 12) -> str:
+        """Aggregated ``--profile`` attribution (empty without profiles).
+
+        Sums per-component event counts and sampled callback time over
+        every record that carries a profile payload, so a sweep run with
+        ``repro sweep --profile`` reports where simulated-event time
+        went across the whole run.
+        """
+        events: Dict[str, int] = {}
+        sampled: Dict[str, float] = {}
+        total_events = 0
+        wall_s = 0.0
+        profiled = 0
+        for record in self.records:
+            payload = record.profile
+            if not isinstance(payload, dict):
+                continue
+            profiled += 1
+            total_events += int(payload.get("total_events", 0))
+            wall_s += float(payload.get("run_wall_s", 0.0))
+            for row in payload.get("components", []):
+                name = str(row.get("component"))
+                events[name] = events.get(name, 0) + int(row.get("events", 0))
+                sampled[name] = sampled.get(name, 0.0) + float(
+                    row.get("sampled_time_s", 0.0)
+                )
+        if not profiled:
+            return ""
+        total_sampled = sum(sampled.values())
+        ranked = sorted(
+            events,
+            key=lambda n: (-sampled.get(n, 0.0), -events[n], n),
+        )
+        rows = []
+        for name in ranked[:limit]:
+            frac = sampled.get(name, 0.0) / total_sampled if total_sampled else 0.0
+            rows.append([name, events[name], f"{frac * 100:.1f}"])
+        eps = (total_events / wall_s) if wall_s > 0 else 0.0
+        title = (
+            f"Simulator profile ({profiled} profiled record(s), "
+            f"{total_events} events, {eps:,.0f} events/s)"
+        )
+        return render_markdown_table(
+            ["component", "events", "time %"], rows, title=title
+        )
+
     def markdown(self) -> str:
         """Per-experiment summary table for the whole run."""
         rows = []

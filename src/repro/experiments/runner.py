@@ -85,6 +85,19 @@ def _execute_spec(payload: Dict[str, object]) -> Dict[str, object]:
         "repeat": payload["repeat"],
         "seed": payload["seed"],
     }
+    # --profile rides the payload (not the spec hash: profiling never
+    # changes what a spec computes, so cached records stay valid).
+    profiler = None
+    if payload.get("profile"):
+        from repro.obs.profiler import SimProfiler
+        from repro.sim import engine as _engine
+
+        # Install directly rather than via the profile() context
+        # manager: a worker process is single-spec-at-a-time, and a
+        # leftover profiler from a crashed spec must not wedge the
+        # next one, so install unconditionally.
+        profiler = SimProfiler()
+        _engine.set_profiler(profiler)
     try:
         result = run_experiment(payload["experiment"], **payload["params"])
     except Exception:
@@ -99,6 +112,11 @@ def _execute_spec(payload: Dict[str, object]) -> Dict[str, object]:
             status="ok", error=None, series=result.series, text=result.text
         )
     finally:
+        if profiler is not None:
+            from repro.sim import engine as _engine
+
+            _engine.set_profiler(None)
+            record["profile"] = profiler.to_dict()
         # The serial path runs in the caller's process: leave its
         # global RNG stream the way we found it.
         random.setstate(rng_state)
@@ -140,6 +158,8 @@ def run_sweep(
     progress: Optional[Callable[[str], None]] = None,
     backend: Union[str, ExecutorBackend, None] = None,
     repeats: Optional[int] = None,
+    telemetry: bool = True,
+    profile: bool = False,
 ) -> SweepOutcome:
     """Expand ``sweep``, run uncached specs via ``backend``, persist.
 
@@ -153,6 +173,14 @@ def run_sweep(
     external ``repro worker`` processes supply the labour).
     ``repeats`` (if given) overrides the sweep's own repeat count —
     the ``--repeats N`` CLI path — and must be >= 1.
+
+    ``telemetry`` (default on) makes the scheduler emit schema-validated
+    lifecycle events into ``<run-dir>/telemetry/`` — and, because the
+    directory's presence is the enable switch, queue workers then emit
+    their own (see :mod:`repro.obs.telemetry`).  Telemetry observes
+    scheduling only; experiment results are unaffected.  ``profile``
+    runs every spec under the simulator profiler and persists the
+    per-component attribution on its record (``--profile``).
     """
     if repeats is not None:
         if repeats < 1:
@@ -175,6 +203,13 @@ def run_sweep(
     outcome = SweepOutcome(
         sweep=sweep.name, out_dir=Path(out_dir), backend=executor.name
     )
+    emitter = None
+    if telemetry:
+        from repro.obs.telemetry import TelemetryWriter
+
+        # Creating the writer creates <run-dir>/telemetry/, which is
+        # the switch queue workers (local or external) key off.
+        emitter = TelemetryWriter(Path(out_dir), "scheduler")
 
     # Identical specs (e.g. a duplicated grid value) collapse to one
     # before any accounting, so cached/executed totals agree across
@@ -185,9 +220,11 @@ def run_sweep(
 
     cached_hashes = set() if force else store.ok_hashes()
     pending: List[ExperimentSpec] = []
+    cached_specs: List[ExperimentSpec] = []
     for spec in unique.values():
         if spec.spec_hash in cached_hashes:
             outcome.cached += 1
+            cached_specs.append(spec)
             if progress:
                 progress(f"cached  {spec.label} ({spec.spec_hash})")
         else:
@@ -203,12 +240,40 @@ def run_sweep(
         }
         for s in pending
     ]
-    if not payloads:
+    if profile:
+        for payload in payloads:
+            payload["profile"] = True
+    resolved_jobs = jobs if jobs is not None else default_jobs()
+    run_start = time.perf_counter()
+    if emitter is not None:
+        emitter.emit(
+            "run_started",
+            sweep=sweep.name,
+            total=len(unique),
+            cached=outcome.cached,
+            backend=executor.name,
+            jobs=resolved_jobs,
+        )
+        for spec in cached_specs:
+            emitter.emit("spec_cached", spec_hash=spec.spec_hash)
+
+    def finish() -> SweepOutcome:
+        if emitter is not None:
+            emitter.emit(
+                "run_finished",
+                sweep=sweep.name,
+                executed=len(outcome.executed),
+                failed=len(outcome.failed),
+                wall_s=time.perf_counter() - run_start,
+            )
         return outcome
+
+    if not payloads:
+        return finish()
     labels = {s.spec_hash: s.label for s in pending}
     ctx = ExecutionContext(
         store=store,
-        jobs=jobs if jobs is not None else default_jobs(),
+        jobs=resolved_jobs,
         sweep=sweep.name,
         git=git_metadata(repo_dir=None),
     )
@@ -221,8 +286,16 @@ def run_sweep(
         for record in executor.execute(payloads, ctx):
             outcome.executed.append(record)
             lock.refresh()
+            if emitter is not None:
+                emitter.emit(
+                    "record",
+                    spec_hash=record.spec_hash,
+                    status=record.status,
+                    wall_s=record.wall_time_s,
+                    label=labels.get(record.spec_hash, record.spec_hash),
+                )
             if progress:
                 state = "ok     " if record.ok else "FAILED "
                 label = labels.get(record.spec_hash, record.spec_hash)
                 progress(f"{state} {label} ({record.wall_time_s:.2f}s)")
-    return outcome
+    return finish()

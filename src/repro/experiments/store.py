@@ -75,6 +75,7 @@ class StoredResult:
     git_commit: Optional[str] = None
     git_dirty: Optional[bool] = None
     worker: Optional[str] = None     # queue-backend worker id, if any
+    profile: Optional[Dict[str, object]] = None  # --profile attribution
 
     @property
     def ok(self) -> bool:

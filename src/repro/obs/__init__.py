@@ -1,0 +1,56 @@
+"""Unified observability layer: metrics, telemetry, status, profiling.
+
+Four pieces, one contract — **zero overhead when off**:
+
+* :mod:`repro.obs.metrics` — pull-based :class:`MetricsRegistry` with
+  simulated-time snapshots over the counters components already keep.
+* :mod:`repro.obs.telemetry` — schema-validated JSONL lifecycle events
+  from the sweep scheduler and queue workers.
+* :mod:`repro.obs.status` / :mod:`repro.obs.timeline` — the readers:
+  live ``repro status`` and Chrome-trace ``repro timeline``.
+* :mod:`repro.obs.profiler` — opt-in (``--profile``) simulator
+  profiling with per-component event and time attribution.
+"""
+
+from repro.obs.metrics import (
+    MetricError,
+    MetricSnapshotter,
+    MetricsRegistry,
+    NULL_METRICS,
+    instrument_system,
+    metric_key,
+)
+from repro.obs.profiler import SimProfiler, profile
+from repro.obs.status import collect_status, render_status
+from repro.obs.telemetry import (
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    TelemetrySchemaError,
+    TelemetryWriter,
+    read_events,
+    telemetry_dir,
+    validate_event,
+)
+from repro.obs.timeline import build_timeline, write_timeline
+
+__all__ = [
+    "EVENT_KINDS",
+    "MetricError",
+    "MetricSnapshotter",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "SCHEMA_VERSION",
+    "SimProfiler",
+    "TelemetrySchemaError",
+    "TelemetryWriter",
+    "build_timeline",
+    "collect_status",
+    "instrument_system",
+    "metric_key",
+    "profile",
+    "read_events",
+    "render_status",
+    "telemetry_dir",
+    "validate_event",
+    "write_timeline",
+]

@@ -1,0 +1,210 @@
+"""Live run status: ``repro status <run-dir>``.
+
+Answers "what is this run doing right now" from on-disk state alone —
+no coordination with the scheduler or workers.  Three sources combine:
+
+* the telemetry directory (scheduler ``run_started`` totals, per-worker
+  ``task_finished``/``task_retried``/``heartbeat`` events),
+* the work queue (``queue/tasks`` depth and live leases), and
+* the result store (records persisted so far).
+
+All three are read-only and tolerate a run that is mid-flight, finished
+or crashed: whatever is present is reported, whatever is absent is
+shown as unknown.  The ETA is the usual naive estimator —
+``remaining x mean-wall / active-workers`` — which is exactly as honest
+as its inputs.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.experiments.exec.queue import WorkQueue
+from repro.experiments.store import ResultStore
+from repro.obs.telemetry import events_by_kind, read_events
+
+#: A worker whose last telemetry event is older than this is shown as
+#: stale rather than active (matches the default queue lease timeout).
+WORKER_STALE_S = 30.0
+
+
+def collect_status(
+    run_dir: Union[str, Path], now: Optional[float] = None
+) -> Dict[str, object]:
+    """Snapshot a run directory's state into one JSON-ready dict."""
+    run_dir = Path(run_dir)
+    now = time.time() if now is None else now
+    store = ResultStore(run_dir)
+    events, skipped = read_events(run_dir)
+    by_kind = events_by_kind(events)
+
+    # --- store: persisted progress -----------------------------------
+    done = 0
+    failed = 0
+    wall_times: List[float] = []
+    for record in store.latest().values():
+        done += 1
+        if not record.ok:
+            failed += 1
+        if record.wall_time_s > 0:
+            wall_times.append(record.wall_time_s)
+
+    # --- scheduler telemetry: totals ----------------------------------
+    total: Optional[int] = None
+    backend: Optional[str] = None
+    run_finished = bool(by_kind.get("run_finished"))
+    starts = by_kind.get("run_started", [])
+    if starts:
+        last = starts[-1]
+        total = int(last["total"])  # type: ignore[arg-type]
+        backend = str(last["backend"])
+
+    # --- queue: live depth --------------------------------------------
+    queue = WorkQueue(run_dir)
+    queue_depth: Optional[int] = None
+    leases: Optional[int] = None
+    if queue.exists():
+        queue_depth = len(queue._listdir(queue.tasks_dir))
+        leases = len(queue._listdir(queue.leases_dir))
+
+    # --- worker telemetry: per-worker throughput ----------------------
+    workers: Dict[str, Dict[str, object]] = {}
+
+    def worker_row(worker: str) -> Dict[str, object]:
+        return workers.setdefault(
+            worker,
+            {
+                "worker": worker,
+                "finished": 0,
+                "failed": 0,
+                "retries": 0,
+                "wall_s": 0.0,
+                "last_seen_s": None,
+            },
+        )
+
+    for event in events:
+        worker = event.get("worker")
+        if not isinstance(worker, str):
+            continue
+        row = worker_row(worker)
+        age = now - float(event["ts"])  # type: ignore[arg-type]
+        last = row["last_seen_s"]
+        if last is None or age < last:  # type: ignore[operator]
+            row["last_seen_s"] = age
+        kind = event["kind"]
+        if kind == "task_finished":
+            row["finished"] = int(row["finished"]) + 1
+            row["wall_s"] = float(row["wall_s"]) + float(event["wall_s"])  # type: ignore[arg-type]
+            if event.get("status") != "ok":
+                row["failed"] = int(row["failed"]) + 1
+        elif kind == "task_retried":
+            row["retries"] = int(row["retries"]) + 1
+    for row in workers.values():
+        finished = int(row["finished"])
+        wall = float(row["wall_s"])
+        row["mean_wall_s"] = (wall / finished) if finished else None
+        age = row["last_seen_s"]
+        row["active"] = (
+            not run_finished and age is not None and age <= WORKER_STALE_S
+        )
+
+    # --- ETA -----------------------------------------------------------
+    remaining: Optional[int] = None
+    if total is not None:
+        remaining = max(0, total - done)
+    elif queue_depth is not None:
+        remaining = queue_depth
+    eta_s: Optional[float] = None
+    if remaining == 0:
+        eta_s = 0.0
+    elif remaining is not None and wall_times:
+        active = sum(1 for row in workers.values() if row["active"])
+        mean_wall = sum(wall_times) / len(wall_times)
+        eta_s = remaining * mean_wall / max(1, active)
+
+    return {
+        "run_dir": str(run_dir),
+        "sweep": store.load_sweep_name(),
+        "backend": backend,
+        "total": total,
+        "done": done,
+        "failed": failed,
+        "remaining": remaining,
+        "queue_depth": queue_depth,
+        "leases": leases,
+        "finished": run_finished,
+        "eta_s": eta_s,
+        "workers": [workers[w] for w in sorted(workers)],
+        "telemetry_events": len(events),
+        "telemetry_skipped": skipped,
+    }
+
+
+def _fmt_duration(seconds: float) -> str:
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    if seconds < 3600:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds / 3600:.1f}h"
+
+
+def render_status(status: Dict[str, object]) -> str:
+    """Human-readable view of :func:`collect_status`'s snapshot."""
+    lines: List[str] = []
+    sweep = status["sweep"] or "(unknown sweep)"
+    backend = status["backend"]
+    header = f"run {status['run_dir']}: sweep {sweep}"
+    if backend:
+        header += f" [{backend}]"
+    lines.append(header)
+
+    total = status["total"]
+    done = status["done"]
+    progress = f"  progress: {done}"
+    if total is not None:
+        pct = (100.0 * done / total) if total else 100.0  # type: ignore[operator]
+        progress += f"/{total} specs ({pct:.0f}%)"
+    else:
+        progress += " spec(s) persisted"
+    if status["failed"]:
+        progress += f", {status['failed']} failed"
+    lines.append(progress)
+
+    if status["queue_depth"] is not None:
+        lines.append(
+            f"  queue: {status['queue_depth']} pending task(s), "
+            f"{status['leases']} live lease(s)"
+        )
+    if status["finished"]:
+        lines.append("  state: finished")
+    elif status["eta_s"] is not None:
+        lines.append(f"  eta: ~{_fmt_duration(float(status['eta_s']))}")
+
+    workers = status["workers"]
+    if workers:
+        lines.append(f"  workers ({len(workers)}):")  # type: ignore[arg-type]
+        width = max(len(str(row["worker"])) for row in workers)  # type: ignore[union-attr]
+        for row in workers:  # type: ignore[union-attr]
+            finished = row["finished"]
+            mean = row["mean_wall_s"]
+            mean_txt = f"{mean:.2f}s/spec" if mean else "-"
+            seen = row["last_seen_s"]
+            seen_txt = f"{seen:.0f}s ago" if seen is not None else "never"
+            state = "active" if row["active"] else "idle"
+            detail = f"{finished} done, {mean_txt}, seen {seen_txt} [{state}]"
+            if row["retries"]:
+                detail += f", {row['retries']} retr{'y' if row['retries'] == 1 else 'ies'}"
+            if row["failed"]:
+                detail += f", {row['failed']} failed"
+            lines.append(f"    {row['worker']:<{width}}  {detail}")
+    elif status["telemetry_events"] == 0:
+        lines.append("  telemetry: none (run executed with telemetry off?)")
+    if status["telemetry_skipped"]:
+        lines.append(
+            f"  telemetry: skipped {status['telemetry_skipped']} "
+            f"malformed line(s)"
+        )
+    return "\n".join(lines)

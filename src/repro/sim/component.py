@@ -36,6 +36,19 @@ class Component:
         self.tracer = Tracer(log, self.name, lambda: self.sim.now)
         return self.tracer
 
+    def register_metrics(self, registry) -> None:
+        """Bind this component's counters into a metrics registry.
+
+        The base implementation duck-types over the shared counter
+        attribute names (``hits``, ``sent``, ...) exactly like
+        :func:`repro.obs.metrics.instrument_system`; subclasses with
+        richer state override and add their own probes.  Pull-based, so
+        a component that is never registered pays nothing.
+        """
+        from repro.obs.metrics import _probe_counters
+
+        _probe_counters(registry, self.name, self)
+
     def delay_cycles(self, n: float) -> int:
         """Convert ``n`` cycles of this component's clock to picoseconds."""
         if self.clock is None:

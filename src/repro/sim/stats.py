@@ -123,6 +123,14 @@ class Histogram:
         return self.percentile(75.0)
 
     @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    @property
+    def p999(self) -> float:
+        return self.percentile(99.9)
+
+    @property
     def min(self) -> float:
         return self._ensure_sorted()[0]
 
@@ -145,13 +153,15 @@ class Histogram:
         return math.sqrt(var)
 
     def summary(self) -> Dict[str, float]:
-        """Five-number-ish summary used by the experiment harness."""
+        """Five-number-ish summary (plus SLO tails) used by the harness."""
         return {
             "count": float(len(self._samples)),
             "min": self.min,
             "p25": self.p25,
             "median": self.median,
             "p75": self.p75,
+            "p99": self.p99,
+            "p999": self.p999,
             "max": self.max,
             "mean": self.mean,
         }

@@ -32,11 +32,25 @@ class TraceRecord:
 
 
 class TraceLog:
-    """An append-only, filterable trace."""
+    """An append-only, filterable trace.
 
-    def __init__(self, capacity: Optional[int] = None) -> None:
+    ``capacity`` bounds the record count.  The default mode drops *new*
+    records once full (the head of a run is usually the interesting
+    part when debugging startup); ``ring=True`` keeps the *last*
+    ``capacity`` records instead, evicting the oldest — the right mode
+    for "what led up to the failure" captures on long runs.  Both modes
+    count evictions in :attr:`dropped`, and :meth:`render` reports it.
+    """
+
+    def __init__(self, capacity: Optional[int] = None, ring: bool = False) -> None:
+        if ring and capacity is None:
+            raise ValueError("ring=True requires a capacity")
         self.capacity = capacity
+        self.ring = ring
         self._records: List[TraceRecord] = []
+        # Ring eviction is a rotating overwrite index into _records, so
+        # steady-state emits neither shift nor reallocate the list.
+        self._ring_head = 0
         self.enabled = True
         self.dropped = 0
 
@@ -45,16 +59,28 @@ class TraceLog:
             return
         if self.capacity is not None and len(self._records) >= self.capacity:
             self.dropped += 1
+            if not self.ring:
+                return
+            self._records[self._ring_head] = TraceRecord(
+                time_ps, component, event, tuple(sorted(fields.items()))
+            )
+            self._ring_head = (self._ring_head + 1) % self.capacity
             return
         self._records.append(
             TraceRecord(time_ps, component, event, tuple(sorted(fields.items())))
         )
 
+    def records(self) -> List[TraceRecord]:
+        """Records in emission order (unrotating the ring if needed)."""
+        if self.ring and self._ring_head:
+            return self._records[self._ring_head:] + self._records[:self._ring_head]
+        return list(self._records)
+
     def __len__(self) -> int:
         return len(self._records)
 
     def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self._records)
+        return iter(self.records())
 
     # ------------------------------------------------------------------
     # Queries
@@ -68,7 +94,7 @@ class TraceLog:
         predicate: Optional[Callable[[TraceRecord], bool]] = None,
     ) -> List[TraceRecord]:
         out = []
-        for record in self._records:
+        for record in self.records():
             if component is not None and record.component != component:
                 continue
             if event is not None and record.event != event:
@@ -89,19 +115,24 @@ class TraceLog:
         return out
 
     def first(self, event: str) -> Optional[TraceRecord]:
-        for record in self._records:
+        for record in self.records():
             if record.event == event:
                 return record
         return None
 
     def render(self, limit: int = 50) -> str:
-        lines = [str(r) for r in self._records[:limit]]
-        if len(self._records) > limit:
-            lines.append(f"... ({len(self._records) - limit} more)")
+        records = self.records()
+        lines = [str(r) for r in records[:limit]]
+        if len(records) > limit:
+            lines.append(f"... ({len(records) - limit} more)")
+        if self.dropped:
+            mode = "oldest" if self.ring else "newest"
+            lines.append(f"({self.dropped} {mode} record(s) dropped at capacity)")
         return "\n".join(lines)
 
     def clear(self) -> None:
         self._records.clear()
+        self._ring_head = 0
         self.dropped = 0
 
 

@@ -1,0 +1,500 @@
+"""Tests for the observability subsystem (repro.obs)."""
+
+import json
+
+import pytest
+
+from cli_helpers import run_cli
+
+from repro.config import fpga_system
+from repro.experiments import SweepSpec, run_sweep
+from repro.obs import (
+    EVENT_KINDS,
+    MetricError,
+    MetricSnapshotter,
+    MetricsRegistry,
+    NULL_METRICS,
+    SimProfiler,
+    TelemetrySchemaError,
+    TelemetryWriter,
+    build_timeline,
+    collect_status,
+    instrument_system,
+    metric_key,
+    profile,
+    read_events,
+    render_status,
+    telemetry_dir,
+    validate_event,
+    write_timeline,
+)
+from repro.obs.profiler import _attribute
+from repro.sim.engine import Simulator
+from repro.workloads import WorkloadDriver
+
+TINY = {
+    "name": "tiny",
+    "experiments": [{"experiment": "table1"}, {"experiment": "table2"}],
+}
+
+
+def tiny_sweep():
+    return SweepSpec.from_dict(TINY)
+
+
+# ----------------------------- metrics --------------------------------
+def test_metric_key_sorts_labels():
+    assert metric_key("port.sent", {}) == "port.sent"
+    assert (
+        metric_key("port.sent", {"dir": "rx", "chan": 2})
+        == "port.sent{chan=2,dir=rx}"
+    )
+
+
+def test_counter_gauge_histogram_basics():
+    reg = MetricsRegistry()
+    c = reg.counter("ops")
+    c.inc()
+    c.inc(4)
+    g = reg.gauge("depth")
+    g.set(7)
+    h = reg.histogram("lat")
+    h.observe(10.0)
+    h.observe_many([20.0, 30.0])
+    assert c.read() == 5
+    assert g.read() == 7.0
+    assert h.read() == 3  # snapshot value is the sample count
+    assert h.summary()["median"] == 20.0
+    assert len(reg) == 3 and "ops" in reg
+
+
+def test_registration_is_idempotent_per_key():
+    reg = MetricsRegistry()
+    a = reg.counter("hits", node="lsu0")
+    b = reg.counter("hits", node="lsu0")
+    assert a is b
+    assert reg.counter("hits", node="lsu1") is not a
+
+
+def test_kind_conflict_raises_metric_error():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(MetricError) as err:
+        reg.gauge("x")
+    assert "already registered" in str(err.value)
+
+
+def test_probe_reads_live_value():
+    reg = MetricsRegistry()
+    state = {"n": 1}
+    p = reg.probe("live", lambda: state["n"])
+    assert p.read() == 1.0
+    state["n"] = 9
+    assert p.read() == 9.0
+
+
+def test_scoped_registry_prefixes_and_nests():
+    reg = MetricsRegistry()
+    llc = reg.scoped("llc")
+    llc.counter("hits")
+    llc.scoped("array").gauge("ways")
+    assert "llc.hits" in reg
+    assert "llc.array.ways" in reg
+    assert reg.get("llc.hits").kind == "counter"
+
+
+def test_snapshot_builds_time_series_and_summary():
+    reg = MetricsRegistry()
+    c = reg.counter("n")
+    reg.histogram("h").observe(5.0)
+    reg.snapshot(100)
+    c.inc(3)
+    reg.snapshot(200)
+    series = reg.series()
+    assert series["n"] == [(100, 0.0), (200, 3.0)]
+    assert reg.snapshots == 2
+    summary = reg.summary()
+    assert summary["n"] == 3.0
+    assert summary["h"]["count"] == 1  # histograms summarise to quantiles
+    payload = reg.to_dict()
+    assert payload["series"]["n"] == [[100, 0.0], [200, 3.0]]
+    json.dumps(payload)  # JSON-ready
+
+
+def test_render_limits_and_aligns():
+    reg = MetricsRegistry()
+    for i in range(5):
+        reg.counter(f"metric.{i}")
+    text = reg.render(limit=2)
+    assert "5 instrument(s)" in text
+    assert "(3 more)" in text
+    assert "no instruments" in MetricsRegistry().render()
+
+
+def test_null_registry_is_inert():
+    inst = NULL_METRICS.counter("x")
+    inst.inc()
+    inst.set(2.0)
+    inst.observe(1.0)
+    assert inst.read() == 0.0
+    assert NULL_METRICS.gauge("y") is inst
+    assert NULL_METRICS.probe("z", lambda: 1) is inst
+    assert NULL_METRICS.scoped("a") is NULL_METRICS
+    assert NULL_METRICS.snapshot(0) == {}
+
+
+def test_instrument_system_binds_existing_counters():
+    from repro.system import SystemBuilder, resolve_topology
+
+    system = SystemBuilder(fpga_system()).build(resolve_topology("fanout-2"))
+    reg = MetricsRegistry()
+    bound = instrument_system(system, reg)
+    assert bound == len(reg) >= 3
+    assert "engine.events" in reg
+    assert any(key.startswith("llc.") for key in (i.key for i in reg.instruments()))
+    # Probes track the live counters without touching the system.
+    before = reg.get("engine.events").read()
+    system.sim.schedule(10, lambda: None)
+    system.sim.run()
+    assert reg.get("engine.events").read() == before + 1
+
+
+def test_snapshotter_samples_and_never_keeps_sim_alive():
+    sim = Simulator()
+    reg = MetricsRegistry()
+    reg.probe("now", lambda: sim.now)
+    for t in (100, 250, 900):
+        sim.schedule(t, lambda: None)
+    MetricSnapshotter(sim, reg, interval_ps=200).start()
+    sim.run()
+    # Ticks at 200/400/.../1000; the 1000 tick sees pending == 0 and
+    # does not reschedule, so the sim drains.
+    assert sim.pending == 0
+    times = [t for t, _ in reg.series()["now"]]
+    assert times[0] == 200 and times[-1] == 1000
+    with pytest.raises(MetricError):
+        MetricSnapshotter(sim, reg, interval_ps=0)
+
+
+def test_driver_metrics_do_not_perturb_measurement():
+    driver = WorkloadDriver(fpga_system())
+    plain = driver.run("mixed(32)", topology="fanout-2", seed=7, streams=2)
+    reg = MetricsRegistry()
+    observed = driver.run(
+        "mixed(32)", topology="fanout-2", seed=7, streams=2,
+        metrics=reg, metrics_interval_ps=50_000,
+    )
+    assert observed.to_dict() == plain.to_dict()  # bit-identical contract
+    assert reg.snapshots >= 1
+    summary = reg.summary()
+    assert summary["engine.events"] > 0
+    assert any(k.startswith("llc.") for k in summary)
+
+
+# ---------------------------- telemetry -------------------------------
+def test_validate_event_rejects_bad_events():
+    ok = {
+        "schema": 1, "ts": 1.0, "kind": "spec_cached",
+        "source": "s", "spec_hash": "h",
+    }
+    assert validate_event(dict(ok)) == ok
+    with pytest.raises(TelemetrySchemaError, match="must be an object"):
+        validate_event([1])
+    with pytest.raises(TelemetrySchemaError, match="missing field 'ts'"):
+        validate_event({"schema": 1, "kind": "spec_cached", "source": "s"})
+    with pytest.raises(TelemetrySchemaError, match="unsupported telemetry schema"):
+        validate_event({**ok, "schema": 99})
+    with pytest.raises(TelemetrySchemaError, match="'ts' must be a number"):
+        validate_event({**ok, "ts": True})
+    with pytest.raises(TelemetrySchemaError, match="unknown telemetry kind"):
+        validate_event({**ok, "kind": "nope"})
+    with pytest.raises(TelemetrySchemaError, match="missing field 'spec_hash'"):
+        validate_event({k: v for k, v in ok.items() if k != "spec_hash"})
+
+
+def test_every_kind_lists_required_fields():
+    for kind, fields in EVENT_KINDS.items():
+        assert isinstance(fields, tuple), kind
+
+
+def test_writer_emits_and_reader_merges(tmp_path):
+    a = TelemetryWriter(tmp_path, "a")
+    b = TelemetryWriter(tmp_path, "b")
+    a.emit("worker_started", worker="a")
+    b.emit("worker_started", worker="b")
+    a.emit("heartbeat", worker="a", leased=1)
+    assert a.emitted == 2
+    events, skipped = read_events(tmp_path)
+    assert skipped == 0
+    assert len(events) == 3
+    assert [e["ts"] for e in events] == sorted(e["ts"] for e in events)
+    assert (telemetry_dir(tmp_path) / "a.jsonl").exists()
+
+
+def test_writer_rejects_schema_violations(tmp_path):
+    writer = TelemetryWriter(tmp_path, "s")
+    with pytest.raises(TelemetrySchemaError):
+        writer.emit("task_finished", worker="w")  # missing fields
+    assert writer.emitted == 0
+
+
+def test_attach_gates_on_directory_presence(tmp_path):
+    assert TelemetryWriter.attach(tmp_path, "w") is None
+    telemetry_dir(tmp_path).mkdir(parents=True)
+    writer = TelemetryWriter.attach(tmp_path, "w")
+    assert writer is not None
+    writer.emit("worker_started", worker="w")
+    events, _ = read_events(tmp_path)
+    assert events[0]["kind"] == "worker_started"
+
+
+def test_read_events_skips_or_raises_on_malformed(tmp_path):
+    writer = TelemetryWriter(tmp_path, "s")
+    writer.emit("spec_cached", spec_hash="h")
+    with open(writer.path, "a") as fh:
+        fh.write("not json\n")
+    events, skipped = read_events(tmp_path)
+    assert len(events) == 1 and skipped == 1
+    with pytest.raises(TelemetrySchemaError, match=r"s\.jsonl:2"):
+        read_events(tmp_path, strict=True)
+
+
+def test_read_events_empty_without_directory(tmp_path):
+    assert read_events(tmp_path) == ([], 0)
+
+
+# --------------------------- status/timeline --------------------------
+def test_sweep_emits_telemetry_and_status_reports(tmp_path):
+    run_dir = tmp_path / "run"
+    outcome = run_sweep(tiny_sweep(), run_dir, jobs=1)
+    assert outcome.ok
+    events, skipped = read_events(run_dir, strict=True)
+    assert skipped == 0
+    kinds = {e["kind"] for e in events}
+    assert {"run_started", "run_finished", "record"} <= kinds
+    status = collect_status(run_dir)
+    assert status["sweep"] == "tiny"
+    assert status["total"] == 2
+    assert status["done"] == 2
+    assert status["remaining"] == 0
+    assert status["finished"] is True
+    assert status["eta_s"] == 0.0
+    text = render_status(status)
+    assert "sweep tiny" in text
+    assert "2/2 specs (100%)" in text
+    assert "state: finished" in text
+
+
+def test_sweep_telemetry_off_writes_nothing(tmp_path):
+    run_dir = tmp_path / "run"
+    run_sweep(tiny_sweep(), run_dir, jobs=1, telemetry=False)
+    assert not telemetry_dir(run_dir).exists()
+    status = collect_status(run_dir)
+    assert status["telemetry_events"] == 0
+    assert status["done"] == 2  # store still answers
+    assert "telemetry: none" in render_status(status)
+
+
+def test_status_tracks_in_flight_workers(tmp_path):
+    now = 1000.0
+    writer = TelemetryWriter(tmp_path, "sched")
+    base = {"schema": 1, "source": "sched"}
+    rows = [
+        {**base, "ts": now - 60, "kind": "run_started", "sweep": "s",
+         "total": 10, "cached": 0, "backend": "queue", "jobs": 2},
+        {**base, "ts": now - 50, "kind": "task_finished", "worker": "w1",
+         "task_id": "h1", "status": "ok", "wall_s": 2.0},
+        {**base, "ts": now - 5, "kind": "task_finished", "worker": "w1",
+         "task_id": "h2", "status": "error", "wall_s": 4.0},
+        {**base, "ts": now - 4, "kind": "task_retried", "worker": "w1",
+         "task_id": "h2", "attempt": 1, "error": "boom"},
+        {**base, "ts": now - 300, "kind": "heartbeat", "worker": "w2",
+         "leased": 1},
+    ]
+    with open(writer.path, "w") as fh:
+        for row in rows:
+            fh.write(json.dumps(validate_event(row)) + "\n")
+    status = collect_status(tmp_path, now=now)
+    assert status["total"] == 10 and status["backend"] == "queue"
+    assert status["finished"] is False
+    w1, w2 = status["workers"]
+    assert w1["worker"] == "w1" and w1["finished"] == 2
+    assert w1["failed"] == 1 and w1["retries"] == 1
+    assert w1["mean_wall_s"] == pytest.approx(3.0)
+    assert w1["active"] is True
+    assert w2["active"] is False  # stale: last seen 300s ago
+    text = render_status(status)
+    assert "w1" in text and "[active]" in text and "[idle]" in text
+    assert "1 retry" in text
+
+
+def test_timeline_builds_valid_trace_events(tmp_path):
+    run_dir = tmp_path / "run"
+    run_sweep(tiny_sweep(), run_dir, jobs=1)
+    timeline = build_timeline(run_dir)
+    events = timeline["traceEvents"]
+    assert timeline["displayTimeUnit"] == "ms"
+    phases = {e["ph"] for e in events}
+    assert {"M", "i", "X"} <= phases
+    # Serial runs fall back to scheduler record events for slices.
+    slices = [e for e in events if e["ph"] == "X"]
+    assert len(slices) == 2
+    for entry in slices:
+        assert entry["ts"] >= 0 or entry["dur"] > 0
+        assert entry["cat"] == "spec"
+        assert entry["args"]["status"] == "ok"
+    json.dumps(timeline)  # Chrome trace JSON must serialise
+
+    out = write_timeline(run_dir)
+    assert out == run_dir / "timeline.json"
+    loaded = json.loads(out.read_text())
+    assert loaded["traceEvents"]
+
+
+def test_timeline_empty_without_telemetry(tmp_path):
+    timeline = build_timeline(tmp_path)
+    assert timeline["traceEvents"] == []
+
+
+# ----------------------------- profiler -------------------------------
+def test_attribute_prefers_owner_name():
+    class Dev:
+        name = "lsu0"
+
+        def cb(self):
+            pass
+
+    class Anon:
+        def cb(self):
+            pass
+
+    assert _attribute(Dev().cb) == "lsu0"
+    assert _attribute(Anon().cb) == "Anon"
+
+    def closure_maker():
+        def step():
+            pass
+        return step
+
+    # Closure qualnames collapse at the first <locals> boundary.
+    collapsed = _attribute(closure_maker())
+    assert ".<locals>" not in collapsed
+    assert collapsed.startswith("test_attribute_prefers_owner_name")
+
+
+def test_profiler_counts_every_event_and_samples_some():
+    prof = SimProfiler(sample_every=2)
+    hits = []
+    for _ in range(6):
+        prof.record(hits.append, (1,))
+    assert len(hits) == 6  # profiler invokes the callback itself
+    assert prof.total_events == 6
+    (component,) = prof.events
+    assert prof.events[component] == 6
+    assert prof.samples[component] == 3  # every 2nd call timed
+    with pytest.raises(ValueError):
+        SimProfiler(sample_every=0)
+
+
+def test_profile_context_is_exclusive_and_cleans_up():
+    from repro.sim import engine as _engine
+
+    with profile(sample_every=4) as prof:
+        assert _engine._PROFILER is prof
+        with pytest.raises(RuntimeError, match="already active"):
+            with profile():
+                pass
+    assert _engine._PROFILER is None
+
+
+def test_profiled_run_matches_unprofiled():
+    def drive():
+        sim = Simulator()
+
+        def chain(n):
+            if n > 0:
+                sim.schedule_after(100, chain, (n - 1,))
+
+        chain(50)
+        sim.run()
+        return sim.executed, sim.now
+
+    plain = drive()
+    with profile(sample_every=3) as prof:
+        profiled = drive()
+    assert profiled == plain  # bit-identical with the profiler installed
+    assert prof.total_events == plain[0]
+    assert prof.runs == 1
+    assert prof.run_wall_s > 0
+
+
+def test_profiler_render_and_to_dict():
+    prof = SimProfiler(sample_every=1)
+    prof.record((lambda: None), ())
+    prof.add_run(0.5, 1)
+    payload = prof.to_dict()
+    assert payload["total_events"] == 1
+    assert payload["events_per_sec"] == pytest.approx(2.0)
+    assert payload["components"][0]["events"] == 1
+    text = prof.render()
+    assert "profile: 1 events" in text
+    assert "sampling 1/1" in text
+    json.dumps(payload)
+
+
+def test_sweep_profile_attaches_attribution(tmp_path):
+    run_dir = tmp_path / "run"
+    sweep = SweepSpec.from_dict(
+        {"name": "prof", "experiments": [{"experiment": "fig13"}]}
+    )
+    outcome = run_sweep(sweep, run_dir, jobs=1, profile=True)
+    (record,) = outcome.executed
+    assert record.ok
+    assert record.profile["total_events"] > 0
+    assert record.profile["components"]
+    # Profiling never changes what a spec computes, so the cached rerun
+    # without profiling hits the same spec hash.
+    rerun = run_sweep(sweep, run_dir, jobs=1)
+    assert rerun.cached == 1
+
+    from repro.experiments.report import RunReport
+
+    report = RunReport(run_dir)
+    text = report.profile_markdown()
+    assert "Simulator profile" in text
+    assert "1 profiled record(s)" in text
+
+
+# ------------------------------- CLI ----------------------------------
+def test_cli_status_and_timeline(tmp_path):
+    run_dir = tmp_path / "run"
+    assert run_sweep(tiny_sweep(), run_dir, jobs=1).ok
+    code, out = run_cli("status", str(run_dir))
+    assert code == 0
+    assert "sweep tiny" in out and "state: finished" in out
+    code, out = run_cli("timeline", str(run_dir))
+    assert code == 0
+    assert "timeline.json" in out
+    assert json.loads((run_dir / "timeline.json").read_text())["traceEvents"]
+
+
+def test_cli_status_rejects_missing_run(tmp_path):
+    code, out = run_cli("status", str(tmp_path / "nope"))
+    assert code == 2
+    assert "no run found" in out
+
+
+def test_cli_timeline_requires_telemetry(tmp_path):
+    run_dir = tmp_path / "run"
+    run_sweep(tiny_sweep(), run_dir, jobs=1, telemetry=False)
+    code, out = run_cli("timeline", str(run_dir))
+    assert code == 2
+    assert "no telemetry" in out
+
+
+def test_cli_run_profile_prints_attribution():
+    code, out = run_cli("run", "fig13", "--profile")
+    assert code == 0
+    assert "profile:" in out
+    assert "events/s" in out
+    assert "component" in out

@@ -50,6 +50,17 @@ def test_histogram_percentiles():
     assert h.p75 == pytest.approx(75.25)
 
 
+def test_histogram_tail_percentiles():
+    h = Histogram()
+    h.extend(range(1, 1001))
+    assert h.p99 == pytest.approx(990.01)
+    assert h.p999 == pytest.approx(999.001)
+    single = Histogram()
+    single.add(5)
+    assert single.p99 == 5
+    assert single.p999 == 5
+
+
 def test_histogram_min_max_mean():
     h = Histogram()
     h.extend([10, 20, 30])
@@ -77,7 +88,9 @@ def test_histogram_summary_keys():
     h = Histogram()
     h.extend([1, 2, 3, 4])
     summary = h.summary()
-    assert set(summary) == {"count", "min", "p25", "median", "p75", "max", "mean"}
+    assert set(summary) == {
+        "count", "min", "p25", "median", "p75", "p99", "p999", "max", "mean",
+    }
     assert summary["count"] == 4
 
 

@@ -50,6 +50,51 @@ def test_capacity_drops_excess():
     assert log.dropped == 3
 
 
+def test_ring_capacity_keeps_newest():
+    log = TraceLog(capacity=3, ring=True)
+    for i in range(7):
+        log.emit(i, "c", "e", i=i)
+    assert len(log) == 3
+    assert log.dropped == 4
+    # Oldest records were overwritten; survivors stay in emission order.
+    assert [r.field("i") for r in log] == [4, 5, 6]
+    assert [r.field("i") for r in log.records()] == [4, 5, 6]
+
+
+def test_ring_requires_capacity():
+    with pytest.raises(ValueError, match="capacity"):
+        TraceLog(ring=True)
+
+
+def test_render_reports_drop_mode():
+    newest = TraceLog(capacity=1)
+    newest.emit(0, "c", "e")
+    newest.emit(1, "c", "e")
+    assert "1 newest record(s) dropped" in newest.render()
+    oldest = TraceLog(capacity=1, ring=True)
+    oldest.emit(0, "c", "e")
+    oldest.emit(1, "c", "e")
+    assert "1 oldest record(s) dropped" in oldest.render()
+
+
+def test_ring_filter_and_first_see_unrotated_order():
+    log = TraceLog(capacity=2, ring=True)
+    for i in range(4):
+        log.emit(i * 10, "c", "tick", i=i)
+    assert log.first("tick").field("i") == 2
+    assert [r.field("i") for r in log.filter(since_ps=30)] == [3]
+
+
+def test_ring_clear_resets_rotation():
+    log = TraceLog(capacity=2, ring=True)
+    for i in range(3):
+        log.emit(i, "c", "e", i=i)
+    log.clear()
+    assert len(log) == 0 and log.dropped == 0
+    log.emit(9, "c", "e", i=9)
+    assert [r.field("i") for r in log] == [9]
+
+
 def test_disabled_log_is_silent():
     log = TraceLog()
     log.enabled = False
